@@ -1,0 +1,156 @@
+// Ablation studies over the modelling knobs DESIGN.md calls out, printed as
+// tables (series the paper does not contain but whose endpoints it pins):
+//
+//   A. pitch CV        — how the Fig 2.1 anchors move with σ_S/μ_S
+//   B. CNT length      — correlation benefit vs L_CNT, incl. the residual-
+//                        independence correction the paper's simplification
+//                        ignores (finite-length extension)
+//   C. removal process — W_min along the (p_Rm, p_Rs) selectivity frontier
+//   D. m-CNT shorts    — required p_Rm vs chip size (p_Rm < 1 extension)
+//
+// Then micro-benchmarks of the extension kernels.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "cnt/removal_tradeoff.h"
+#include "device/failure_model.h"
+#include "device/short_model.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "yield/length_variation.h"
+#include "yield/row_model.h"
+#include "yield/wmin_solver.h"
+
+namespace {
+
+using namespace cny;
+
+void print_pitch_cv_ablation() {
+  util::Table t("Ablation A: Fig 2.1 anchors vs pitch CV (paper pins ~155 / ~103 nm)");
+  t.header({"pitch CV", "W at pF=3e-9 (nm)", "W at pF=1.1e-6 (nm)",
+            "ratio pF(103)/pF(155)"});
+  for (double cv : {0.6, 0.75, 0.9, 1.0, 1.15}) {
+    const device::FailureModel model(cnt::PitchModel(4.0, cv),
+                                     cnt::fig21_worst());
+    t.begin_row()
+        .num(cv, 3)
+        .num(yield::invert_p_f(model, 3.0e-9, 20.0, 400.0), 4)
+        .num(yield::invert_p_f(model, 1.1e-6, 20.0, 400.0), 4)
+        .num(model.p_f(103.0) / model.p_f(155.0), 3);
+  }
+  std::cout << t.to_text() << '\n';
+}
+
+void print_lcnt_ablation() {
+  // Aligned-active devices at the paper's 1.8 FETs/µm over one tube length;
+  // relaxation factor vs L_CNT for the paper's idealised model and for the
+  // finite-length model (residual independence included).
+  util::Table t(
+      "Ablation B: correlation benefit vs CNT length "
+      "(W = 145 nm, 1.8 FETs/um, lambda_s = 0.117/nm)");
+  t.header({"L_CNT (um)", "M_Rmin (paper model)", "ideal relaxation",
+            "finite-length relaxation", "residual factor"});
+  const double lambda_s = 0.117, w = 145.0, density = 1.8;
+  for (double l_um : {20.0, 50.0, 100.0, 200.0, 400.0}) {
+    const double l = l_um * 1000.0;
+    const int n = std::max(2, static_cast<int>(l / 1000.0 * density));
+    std::vector<double> pos;
+    for (int i = 0; i < n; ++i) pos.push_back(i * 1000.0 / density);
+    const double p1 = std::exp(-lambda_s * w);
+    const double p_indep = -std::expm1(n * std::log1p(-p1));
+    const double p_finite = yield::p_rf_finite_length(
+        lambda_s, w, pos, yield::LengthModel{l, 0.0});
+    t.begin_row()
+        .num(l_um, 4)
+        .num(static_cast<double>(n), 4)
+        .num(p_indep / p1, 4)             // = M_Rmin for small p1
+        .num(p_indep / p_finite, 4)
+        .num(p_finite / p1, 3);
+  }
+  std::cout << t.to_text()
+            << "(residual factor = how much the paper's perfect-sharing "
+               "assumption\n underestimates p_RF; ~1 + lambda_s*W*span/L)\n\n";
+}
+
+void print_selectivity_ablation() {
+  util::Table t(
+      "Ablation C: W_min vs removal selectivity (p_Rm = 99.99 %, "
+      "M_min = 33e6, yield 90 %)");
+  t.header({"selectivity (sigma)", "p_Rs", "p_f per CNT", "W_min (nm)"});
+  const cnt::PitchModel pitch(4.0, 0.9);
+  for (double s : {3.0, 3.6, 4.24, 5.0, 6.0}) {
+    const cnt::RemovalTradeoff tradeoff(s);
+    const auto process = tradeoff.process_at(0.9999);
+    const device::FailureModel model(pitch, process);
+    const double w_min = yield::invert_p_f(model, 0.1 / 33.0e6, 10.0, 500.0);
+    t.begin_row()
+        .num(s, 3)
+        .cell(util::format_pct(process.p_remove_s))
+        .num(process.p_fail(), 3)
+        .num(w_min, 4);
+  }
+  std::cout << t.to_text() << '\n';
+}
+
+void print_short_ablation() {
+  util::Table t(
+      "Ablation D: required p_Rm vs chip size (short mode, W = 155 nm, "
+      "noise-failure odds 1 %, yield 90 %)");
+  t.header({"devices", "required p_Rm"});
+  for (double m : {1e6, 1e7, 1e8, 1e9}) {
+    const double p_rm = device::ShortModel::required_p_rm(
+        cnt::PitchModel(4.0, 0.9), 0.33, 155.0, m, 0.01, 0.90);
+    t.begin_row().num(m, 3).cell(util::format_sig(p_rm, 8));
+  }
+  std::cout << t.to_text()
+            << "(the paper's remark: p_Rm > 99.99 % is required for "
+               "practical VLSI)\n\n";
+}
+
+void BM_FiniteLengthRow(benchmark::State& state) {
+  const double lambda_s = 0.117, w = 145.0;
+  std::vector<double> pos;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    pos.push_back(i * 555.0);
+  }
+  const yield::LengthModel length{200.0e3, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        yield::p_rf_finite_length(lambda_s, w, pos, length));
+  }
+}
+BENCHMARK(BM_FiniteLengthRow)->Arg(8)->Arg(18)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShortModelDevice(benchmark::State& state) {
+  cnt::ProcessParams process;
+  process.p_metallic = 0.33;
+  process.p_remove_m = 0.9999;
+  const device::ShortModel model(cnt::PitchModel(4.0, 0.9), process);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.p_short_device(155.0));
+  }
+}
+BENCHMARK(BM_ShortModelDevice)->Unit(benchmark::kMillisecond);
+
+void BM_RemovalFrontier(benchmark::State& state) {
+  const cnt::RemovalTradeoff tradeoff(4.24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tradeoff.frontier(0.9, 0.9999, 50));
+  }
+}
+BENCHMARK(BM_RemovalFrontier);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_pitch_cv_ablation();
+  print_lcnt_ablation();
+  print_selectivity_ablation();
+  print_short_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

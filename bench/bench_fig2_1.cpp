@@ -1,0 +1,67 @@
+// Reproduces Fig 2.1 — CNFET failure probability vs CNFET width for three
+// processing conditions — then benchmarks the analytic kernels behind it.
+//
+// Run:  ./bench_fig2_1            (prints the figure series, then timings)
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "cnt/count_distribution.h"
+#include "device/failure_model.h"
+#include "experiments/fig2_1.h"
+
+namespace {
+
+using namespace cny;
+
+void BM_CountDistribution(benchmark::State& state) {
+  const cnt::PitchModel pitch(4.0, 0.9);
+  const double w = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const cnt::CountDistribution dist(pitch, w);
+    benchmark::DoNotOptimize(dist.mean());
+  }
+}
+BENCHMARK(BM_CountDistribution)->Arg(40)->Arg(103)->Arg(155);
+
+void BM_FailureModelPf(benchmark::State& state) {
+  // Cold evaluation: a fresh model per iteration defeats the memo cache so
+  // the true analytic cost is measured.
+  const cnt::PitchModel pitch(4.0, 0.9);
+  const double w = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    device::FailureModel model(pitch, cnt::fig21_worst());
+    benchmark::DoNotOptimize(model.p_f(w));
+  }
+}
+BENCHMARK(BM_FailureModelPf)->Arg(103)->Arg(155);
+
+void BM_FailureModelPfCached(benchmark::State& state) {
+  const cnt::PitchModel pitch(4.0, 0.9);
+  device::FailureModel model(pitch, cnt::fig21_worst());
+  (void)model.p_f(155.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.p_f(155.0));
+  }
+}
+BENCHMARK(BM_FailureModelPfCached);
+
+void BM_Fig21FullSweep(benchmark::State& state) {
+  const experiments::PaperParams params;
+  for (auto _ : state) {
+    const auto res = experiments::run_fig2_1(params, 20.0, 180.0, 16.0);
+    benchmark::DoNotOptimize(res.w_at_3e9);
+  }
+}
+BENCHMARK(BM_Fig21FullSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cny::experiments::PaperParams params;
+  std::cout << cny::experiments::report_fig2_1(params).render_text()
+            << std::endl;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

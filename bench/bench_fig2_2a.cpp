@@ -1,0 +1,60 @@
+// Reproduces Fig 2.2a — the transistor width distribution of an
+// OpenRISC-like core on the nangate45_like library — then benchmarks the
+// library/design generation pipeline.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "celllib/generator.h"
+#include "experiments/fig2_2.h"
+#include "netlist/design_generator.h"
+
+namespace {
+
+using namespace cny;
+
+void BM_GenerateNangate45(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto lib = celllib::make_nangate45_like();
+    benchmark::DoNotOptimize(lib.size());
+  }
+}
+BENCHMARK(BM_GenerateNangate45)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateCommercial65(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto lib = celllib::make_commercial65_like();
+    benchmark::DoNotOptimize(lib.size());
+  }
+}
+BENCHMARK(BM_GenerateCommercial65)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateDesign(benchmark::State& state) {
+  const auto lib = celllib::make_nangate45_like();
+  for (auto _ : state) {
+    const auto design = netlist::generate_design(
+        "d", lib, static_cast<std::uint64_t>(state.range(0)), {});
+    benchmark::DoNotOptimize(design.n_transistors());
+  }
+}
+BENCHMARK(BM_GenerateDesign)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WidthHistogram(benchmark::State& state) {
+  const auto lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  for (auto _ : state) {
+    const auto h = design.width_histogram(80.0, 800.0);
+    benchmark::DoNotOptimize(h.total_weight());
+  }
+}
+BENCHMARK(BM_WidthHistogram);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << cny::experiments::report_fig2_2a().render_text() << std::endl;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Fig 2.2b — gate-capacitance penalty of upsizing to W_min vs
+// technology node, without correlation — then benchmarks the scaling study.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "celllib/generator.h"
+#include "experiments/fig2_2.h"
+#include "netlist/design_generator.h"
+#include "power/penalty.h"
+
+namespace {
+
+using namespace cny;
+
+yield::WidthSpectrum chip_spectrum() {
+  const auto lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  return yield::scale_spectrum(design.width_spectrum(), 1.0,
+                               1e8 / double(design.n_transistors()));
+}
+
+void BM_UpsizingPenalty(benchmark::State& state) {
+  const auto spectrum = chip_spectrum();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power::upsizing_penalty(spectrum, 155.0));
+  }
+}
+BENCHMARK(BM_UpsizingPenalty);
+
+void BM_WminSolve(benchmark::State& state) {
+  const auto spectrum = chip_spectrum();
+  const cnt::PitchModel pitch(4.0, 0.9);
+  yield::WminRequest req;
+  for (auto _ : state) {
+    device::FailureModel model(pitch, cnt::fig21_worst());  // cold cache
+    const auto res = yield::solve_w_min(spectrum, model, req);
+    benchmark::DoNotOptimize(res.w_min);
+  }
+}
+BENCHMARK(BM_WminSolve)->Unit(benchmark::kMillisecond);
+
+void BM_ScalingStudyFourNodes(benchmark::State& state) {
+  const auto spectrum = chip_spectrum();
+  const cnt::PitchModel pitch(4.0, 0.9);
+  yield::WminRequest req;
+  for (auto _ : state) {
+    device::FailureModel model(pitch, cnt::fig21_worst());
+    const auto study = power::scaling_study(spectrum, model, req,
+                                            {45.0, 32.0, 22.0, 16.0});
+    benchmark::DoNotOptimize(study.nodes.size());
+  }
+}
+BENCHMARK(BM_ScalingStudyFourNodes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cny::experiments::PaperParams params;
+  std::cout << cny::experiments::report_fig2_2b(params).render_text()
+            << std::endl;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

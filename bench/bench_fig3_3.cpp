@@ -1,0 +1,38 @@
+// Reproduces Fig 3.3 — upsizing penalty vs technology node before and after
+// directional growth + aligned-active cells — then benchmarks the combined
+// relaxed-W_min pipeline.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "celllib/generator.h"
+#include "experiments/fig2_2.h"
+#include "netlist/design_generator.h"
+
+namespace {
+
+using namespace cny;
+
+void BM_PenaltyScalingBothSeries(benchmark::State& state) {
+  const experiments::PaperParams params;
+  const auto lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  for (auto _ : state) {
+    const auto res = experiments::run_penalty_scaling(params, design, 350.0);
+    benchmark::DoNotOptimize(res.with_correlation.nodes.size());
+  }
+}
+BENCHMARK(BM_PenaltyScalingBothSeries)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cny::experiments::PaperParams params;
+  // The paper's 350X relaxation; Table 1's measured gain_total lands at
+  // M_Rmin = 360 — report_fig3_3 parameterises it explicitly.
+  std::cout << cny::experiments::report_fig3_3(params, 350.0).render_text()
+            << std::endl;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

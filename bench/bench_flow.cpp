@@ -1,0 +1,29 @@
+// Prints the all-strategies summary (the synthesis of Table 1 + Fig 3.3),
+// then benchmarks the end-to-end flow.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "experiments/flow_summary.h"
+
+namespace {
+
+void BM_FullYieldFlow(benchmark::State& state) {
+  const cny::experiments::PaperParams params;
+  for (auto _ : state) {
+    const auto res = cny::experiments::run_flow_summary(params);
+    benchmark::DoNotOptimize(res.strategies.size());
+  }
+}
+BENCHMARK(BM_FullYieldFlow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cny::experiments::PaperParams params;
+  std::cout << cny::experiments::report_flow_summary(params).render_text()
+            << std::endl;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Performance benchmarks for the Monte Carlo substrates: RNG engine,
+// samplers, growth generation, and the full-chip yield simulator. Not tied
+// to a specific paper figure — this is the kernel inventory for anyone
+// scaling the library up.
+#include <benchmark/benchmark.h>
+
+#include "cnt/growth.h"
+#include "rng/distributions.h"
+#include "rng/engine.h"
+#include "yield/monte_carlo.h"
+
+namespace {
+
+using namespace cny;
+
+void BM_Xoshiro(benchmark::State& state) {
+  rng::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_UniformDouble(benchmark::State& state) {
+  rng::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_UniformDouble);
+
+void BM_SampleGamma(benchmark::State& state) {
+  rng::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::sample_gamma(rng, 1.23, 3.24));
+  }
+}
+BENCHMARK(BM_SampleGamma);
+
+void BM_SamplePoisson(benchmark::State& state) {
+  rng::Xoshiro256 rng(3);
+  const double lambda = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::sample_poisson(rng, lambda));
+  }
+}
+BENCHMARK(BM_SamplePoisson)->Arg(5)->Arg(25)->Arg(120);
+
+void BM_DiscreteSampler(benchmark::State& state) {
+  rng::Xoshiro256 rng(4);
+  std::vector<double> weights;
+  for (int i = 0; i < 134; ++i) weights.push_back(1.0 + (i % 7));
+  const rng::DiscreteSampler sampler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler(rng));
+  }
+}
+BENCHMARK(BM_DiscreteSampler);
+
+void BM_FunctionalPositionsPerBand(benchmark::State& state) {
+  const cnt::DirectionalGrowth growth(cnt::PitchModel(4.0, 0.9),
+                                      cnt::fig21_worst(), 200.0e3);
+  rng::Xoshiro256 rng(5);
+  const double band = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(growth.functional_positions(rng, 0.0, band));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) / 4);  // ~tubes generated
+}
+BENCHMARK(BM_FunctionalPositionsPerBand)->Arg(160)->Arg(1600)->Arg(16000);
+
+void BM_ChipYieldSimulation(benchmark::State& state) {
+  const cnt::DirectionalGrowth growth(cnt::PitchModel(4.0, 1.0),
+                                      cnt::fig21_worst(), 200.0e3);
+  yield::ChipSpec spec;
+  spec.row_windows =
+      std::vector<geom::Interval>(16, geom::Interval{0.0, 30.0});
+  spec.n_rows = 8;
+  rng::Xoshiro256 rng(6);
+  for (auto _ : state) {
+    const auto res = yield::simulate_chip_yield(
+        growth, spec, yield::GrowthStyle::Directional, 200, rng);
+    benchmark::DoNotOptimize(res.chip_yield);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200 * 8);
+}
+BENCHMARK(BM_ChipYieldSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Reproduces Table 1 — p_RF under the three growth/layout combinations —
+// then benchmarks the window-union engines (the "numerical methods" the
+// paper's general case requires).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "celllib/generator.h"
+#include "experiments/table1.h"
+#include "netlist/design_generator.h"
+#include "yield/empty_window.h"
+
+namespace {
+
+using namespace cny;
+
+std::vector<geom::Interval> paper_windows(int n_offsets, double spread,
+                                          double w) {
+  std::vector<geom::Interval> out;
+  for (int i = 0; i < n_offsets; ++i) {
+    const double y = spread * i / std::max(1, n_offsets - 1);
+    out.push_back({y, y + w});
+  }
+  return out;
+}
+
+void BM_PoissonUnionExact(benchmark::State& state) {
+  const auto windows =
+      paper_windows(static_cast<int>(state.range(0)), 95.0, 145.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yield::poisson_union_exact(0.117, windows));
+  }
+}
+BENCHMARK(BM_PoissonUnionExact)->Arg(8)->Arg(16)->Arg(22);
+
+void BM_ConditionalMc(benchmark::State& state) {
+  const auto windows = paper_windows(20, 95.0, 145.0);
+  rng::Xoshiro256 rng(1);
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto res =
+        yield::union_conditional_mc(0.117, windows, samples, rng);
+    benchmark::DoNotOptimize(res.estimate);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ConditionalMc)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Table1Full(benchmark::State& state) {
+  const experiments::PaperParams params;
+  const auto lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  for (auto _ : state) {
+    const auto res = experiments::run_table1(params, design, 0.0, 5000, 1);
+    benchmark::DoNotOptimize(res.gain_total);
+  }
+}
+BENCHMARK(BM_Table1Full)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cny::experiments::PaperParams params;
+  std::cout << cny::experiments::report_table1(params).render_text()
+            << std::endl;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table 2 — the aligned-active area penalty across the two
+// libraries and the one-/two-row variants — then benchmarks the transform.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "celllib/generator.h"
+#include "experiments/table2.h"
+#include "layout/aligned_active.h"
+
+namespace {
+
+using namespace cny;
+
+void BM_AlignNangate45(benchmark::State& state) {
+  const auto lib = celllib::make_nangate45_like();
+  layout::AlignOptions options;
+  options.w_min = 103.0;
+  options.rows_per_polarity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto res = layout::align_active(lib, options, 140.0);
+    benchmark::DoNotOptimize(res.cells_with_penalty());
+  }
+}
+BENCHMARK(BM_AlignNangate45)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_AlignCommercial65(benchmark::State& state) {
+  const auto lib = celllib::make_commercial65_like();
+  layout::AlignOptions options;
+  options.w_min = 107.0;
+  options.rows_per_polarity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto res = layout::align_active(lib, options, 200.0);
+    benchmark::DoNotOptimize(res.cells_with_penalty());
+  }
+}
+BENCHMARK(BM_AlignCommercial65)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_Table2Full(benchmark::State& state) {
+  const experiments::PaperParams params;
+  for (auto _ : state) {
+    const auto res = experiments::run_table2(params);
+    benchmark::DoNotOptimize(res.nangate_one.cells_with_penalty);
+  }
+}
+BENCHMARK(BM_Table2Full)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cny::experiments::PaperParams params;
+  std::cout << cny::experiments::report_table2(params).render_text()
+            << std::endl;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// The Sec 3.2 aligned-active enforcement flow on a whole cell library:
+//
+//   load/generate library -> pick W_min -> apply the aligned-active
+//   transform (one or two rows per polarity) -> report per-cell penalties
+//   -> render the AOI222_X1 before/after layout (the paper's Fig 3.2)
+//   -> save both libraries in liberty-lite format.
+//
+// Usage: aligned_active_flow [--library=nangate45|commercial65]
+//                            [--wmin=103] [--rows=1] [--out-dir=.]
+#include <cstdio>
+#include <string>
+
+#include "celllib/generator.h"
+#include "celllib/liberty_lite.h"
+#include "geom/svg.h"
+#include "layout/aligned_active.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace cny;
+
+/// Renders a cell's active regions: n-type green, p-type blue; critical
+/// regions outlined (the paper highlights them with dashed yellow).
+void render_cell(const celllib::Cell& cell, double w_min,
+                 const std::string& path) {
+  geom::SvgWriter svg(geom::Rect{-20.0, -20.0, cell.width + 40.0,
+                                 cell.height + 40.0},
+                      640.0);
+  svg.rect({0.0, 0.0, cell.width, cell.height}, "none", "#404040", 4.0);
+  for (std::size_t r = 0; r < cell.regions.size(); ++r) {
+    const auto& region = cell.regions[r];
+    const bool critical =
+        cell.region_fet_width(static_cast<int>(r)) <= w_min + 1e-9;
+    const std::string fill =
+        region.polarity == celllib::Polarity::N ? "#77cc77" : "#7799ee";
+    svg.rect(region.rect, fill, critical ? "#ccaa00" : "#303030",
+             critical ? 8.0 : 2.0, 0.85);
+  }
+  for (const auto& pin : cell.pins) {
+    svg.line({pin.x, -12.0}, {pin.x, 0.0}, "#aa2222", 6.0);
+    svg.text({pin.x - 14.0, -34.0}, pin.name, 30.0);
+  }
+  svg.text({8.0, cell.height + 6.0}, cell.name, 36.0);
+  if (!svg.save(path)) {
+    std::printf("  (could not write %s)\n", path.c_str());
+  } else {
+    std::printf("  wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string which = cli.get("library", "nangate45");
+  const bool is_nangate = which == "nangate45";
+  const auto lib = is_nangate ? celllib::make_nangate45_like()
+                              : celllib::make_commercial65_like();
+  const auto rules = is_nangate ? celllib::nangate45_rules()
+                                : celllib::commercial65_rules();
+
+  layout::AlignOptions options;
+  options.w_min = cli.get_double("wmin", is_nangate ? 103.0 : 107.0);
+  options.rows_per_polarity = static_cast<int>(cli.get_long("rows", 1));
+  const std::string out = cli.get("out-dir", ".");
+
+  std::printf("aligned-active enforcement on %s (%zu cells), W_min = %.0f, "
+              "%d row(s) per polarity\n\n",
+              lib.name().c_str(), lib.size(), options.w_min,
+              options.rows_per_polarity);
+
+  const auto result =
+      layout::align_active(lib, options, rules.active_spacing);
+
+  std::printf("global grid rows: n-active y = %.1f, p-active y = %.1f\n",
+              result.grid_y_n, result.grid_y_p);
+  std::printf("cells widened: %zu of %zu (%.1f%%), penalty %.1f%% - %.1f%%\n\n",
+              result.cells_with_penalty(), lib.size(),
+              100.0 * double(result.cells_with_penalty()) / double(lib.size()),
+              100.0 * result.min_penalty(), 100.0 * result.max_penalty());
+
+  std::printf("%-16s %-12s %-12s %-8s\n", "cell", "old width", "new width",
+              "penalty");
+  for (const auto& p : result.penalties) {
+    if (p.penalty() > 1e-6) {
+      std::printf("%-16s %-12.0f %-12.0f %.1f%%\n", p.cell.c_str(),
+                  p.old_width, p.new_width, 100.0 * p.penalty());
+    }
+  }
+
+  // Fig 3.2: AOI222_X1 before and after.
+  const std::string showcase = is_nangate ? "AOI222_X1" : "AOI222_X1";
+  if (const auto* before = lib.find(showcase)) {
+    std::printf("\nrendering %s before/after (paper Fig 3.2):\n",
+                showcase.c_str());
+    render_cell(*before, options.w_min, out + "/" + showcase + "_before.svg");
+    render_cell(*result.library.find(showcase), options.w_min,
+                out + "/" + showcase + "_after.svg");
+  }
+
+  // Persist both libraries for downstream flows.
+  celllib::save_liberty_lite(lib, out + "/" + lib.name() + ".lib");
+  celllib::save_liberty_lite(result.library,
+                             out + "/" + lib.name() + "_aligned.lib");
+  std::printf("\nwrote %s/%s.lib and %s/%s_aligned.lib\n", out.c_str(),
+              lib.name().c_str(), out.c_str(), lib.name().c_str());
+  return 0;
+}

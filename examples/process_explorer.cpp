@@ -1,0 +1,82 @@
+// Process/design co-exploration: the decision-support view a CNFET process
+// engineer would use. Combines the extension modules:
+//
+//   * removal selectivity frontier -> per-CNT failure probability
+//   * W_min / power penalty across the four layout strategies (YieldFlow)
+//   * short-mode (p_Rm < 1) required removal efficiency
+//   * finite CNT length: how the correlation credit degrades with L_CNT
+//
+// Usage: process_explorer [--selectivity=4.24] [--prm=0.9999]
+//                         [--yield=0.90] [--lcnt-um=200]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "celllib/generator.h"
+#include "cnt/removal_tradeoff.h"
+#include "device/short_model.h"
+#include "netlist/design_generator.h"
+#include "util/cli.h"
+#include "yield/flow.h"
+#include "yield/length_variation.h"
+#include "yield/wmin_solver.h"
+
+int main(int argc, char** argv) {
+  using namespace cny;
+  const util::Cli cli(argc, argv);
+
+  const double selectivity = cli.get_double("selectivity", 4.24);
+  const double p_rm = cli.get_double("prm", 0.9999);
+  const double l_cnt = cli.get_double("lcnt-um", 200.0) * 1000.0;
+
+  // 1. Removal process working point.
+  const cnt::RemovalTradeoff tradeoff(selectivity);
+  const auto process = tradeoff.process_at(p_rm);
+  std::printf("removal process: selectivity %.2f sigma, p_Rm = %.4f%% -> "
+              "p_Rs = %.1f%%, p_f = %.3f\n\n",
+              selectivity, 100.0 * p_rm, 100.0 * process.p_remove_s,
+              process.p_fail());
+
+  // 2. Strategy comparison on the OpenRISC-like case study.
+  const auto lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  const device::FailureModel model(cnt::PitchModel(4.0, 0.9), process);
+  yield::FlowParams flow_params;
+  flow_params.yield_desired = cli.get_double("yield", 0.90);
+  flow_params.l_cnt = l_cnt;
+  const auto flow = yield::run_flow(lib, design, model, flow_params);
+  std::cout << flow.summary_table().to_text() << '\n';
+
+  // 3. Short mode: is this p_Rm good enough, and what would the chip need?
+  const device::ShortModel shorts(cnt::PitchModel(4.0, 0.9), process);
+  const double w_ref = flow.get(yield::Strategy::AlignedOneRow).w_min;
+  std::printf("short mode at W = %.0f nm: P(device keeps an m-CNT) = %.3e\n",
+              w_ref, shorts.p_short_device(w_ref));
+  const double needed = device::ShortModel::required_p_rm(
+      cnt::PitchModel(4.0, 0.9), process.p_metallic, w_ref, 1e8, 0.01,
+      flow_params.yield_desired);
+  std::printf("p_Rm required for 100M devices (1%% noise-failure odds): "
+              "%.6f%%  -> %s\n\n",
+              100.0 * needed,
+              p_rm >= needed ? "current process OK"
+                             : "current process INSUFFICIENT");
+
+  // 4. Finite CNT length: correlation credit erosion.
+  std::printf("finite-CNT-length check (aligned row, 1.8 FETs/um):\n");
+  std::printf("%-14s %-22s %-18s\n", "L_CNT (um)", "effective sharing",
+              "of paper's M_Rmin");
+  const double lambda_s = -std::log(model.p_f(w_ref)) / w_ref;
+  for (double l_um : {50.0, 100.0, 200.0, 400.0}) {
+    const int n = static_cast<int>(l_um * 1.8);
+    std::vector<double> pos;
+    for (int i = 0; i < n; ++i) pos.push_back(i * 1000.0 / 1.8);
+    const double share = yield::effective_sharing(
+        lambda_s, w_ref, pos, yield::LengthModel{l_um * 1000.0, 0.0});
+    std::printf("%-14.0f %-22.1f %.1f%%\n", l_um, share,
+                100.0 * share / n);
+  }
+  std::printf("\n(perfect sharing would give 100%%; the shortfall is the\n"
+              " residual-independence effect of random tube boundaries —\n"
+              " see DESIGN.md, finite-length extension)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the 60-second tour of the cntyield API.
+//
+//   1. Build a CNT process model (pitch statistics + m-CNT removal).
+//   2. Ask for the CNFET failure probability p_F(W)  (paper eq. 2.2).
+//   3. Solve the minimum safe width W_min for a chip   (paper eq. 2.5).
+//   4. See what CNT correlation buys you               (paper Sec 3).
+//
+// Usage: quickstart [--pm=0.33] [--prs=0.30] [--cv=0.9] [--yield=0.90]
+#include <cstdio>
+
+#include "cnt/pitch_model.h"
+#include "cnt/process.h"
+#include "device/failure_model.h"
+#include "util/cli.h"
+#include "yield/row_model.h"
+#include "yield/wmin_solver.h"
+
+int main(int argc, char** argv) {
+  using namespace cny;
+  const util::Cli cli(argc, argv);
+
+  // 1. Process model: mean inter-CNT pitch 4 nm [Deng 07]; pitch CV 0.9
+  //    (calibrated to the paper's Fig 2.1, see EXPERIMENTS.md); 33 % of
+  //    grown CNTs are metallic and removed (p_Rm = 1), and the removal step
+  //    collaterally kills 30 % of the semiconducting ones.
+  const cnt::PitchModel pitch(4.0, cli.get_double("cv", 0.9));
+  cnt::ProcessParams process;
+  process.p_metallic = cli.get_double("pm", 0.33);
+  process.p_remove_s = cli.get_double("prs", 0.30);
+  const device::FailureModel device(pitch, process);
+
+  std::printf("per-CNT failure probability p_f = %.3f (eq. 2.1)\n\n",
+              process.p_fail());
+
+  // 2. Device-level failure probability vs width (Fig 2.1, one curve).
+  std::printf("%-10s %-12s\n", "W (nm)", "p_F(W)");
+  for (double w = 20.0; w <= 180.0; w += 20.0) {
+    std::printf("%-10.0f %-12.3e\n", w, device.p_f(w));
+  }
+
+  // 3. W_min for a 100-million-transistor chip at 90 % desired yield,
+  //    with a 120 nm / 360 nm two-bin width spectrum (33 % small devices —
+  //    the paper's OpenRISC case study shape).
+  yield::WminRequest req;
+  req.yield_desired = cli.get_double("yield", 0.90);
+  const yield::WidthSpectrum spectrum = {{120.0, 33'000'000},
+                                         {360.0, 67'000'000}};
+  const auto base = yield::solve_w_min(spectrum, device, req);
+  std::printf("\nW_min without correlation: %.1f nm  (p_F* = %.2e, M_min = %llu)\n",
+              base.w_min, base.p_f_target,
+              static_cast<unsigned long long>(base.m_min));
+
+  // 4. Directional growth + aligned-active layout: every device in a row
+  //    shares the same CNTs, so the failure budget applies per row segment
+  //    of one CNT length instead of per device — an M_Rmin = 360X
+  //    relaxation for L_CNT = 200 µm at 1.8 critical FETs/µm.
+  yield::RowParams rows;
+  rows.l_cnt = 200.0e3;
+  rows.fets_per_um = 1.8;
+  rows.m_min = base.m_min;
+  yield::WminRequest relaxed = req;
+  relaxed.relaxation = yield::m_r_min(rows);
+  const auto opt = yield::solve_w_min(spectrum, device, relaxed);
+  std::printf("W_min with correlation:    %.1f nm  (%.0fX relaxation)\n",
+              opt.w_min, relaxed.relaxation);
+  std::printf("\n=> upsizing target drops by %.0f nm; see "
+              "examples/openrisc_case_study for the full power story.\n",
+              base.w_min - opt.w_min);
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "celllib/cell.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cny::celllib {
+
+const char* to_string(Polarity p) { return p == Polarity::N ? "N" : "P"; }
+
+const char* to_string(CellKind k) {
+  switch (k) {
+    case CellKind::Combinational: return "comb";
+    case CellKind::Buffer: return "buf";
+    case CellKind::Sequential: return "seq";
+  }
+  return "comb";
+}
+
+Polarity polarity_from_string(const std::string& s) {
+  if (s == "N") return Polarity::N;
+  if (s == "P") return Polarity::P;
+  CNY_EXPECT_MSG(false, "bad polarity: " + s);
+  return Polarity::N;
+}
+
+CellKind kind_from_string(const std::string& s) {
+  if (s == "comb") return CellKind::Combinational;
+  if (s == "buf") return CellKind::Buffer;
+  if (s == "seq") return CellKind::Sequential;
+  CNY_EXPECT_MSG(false, "bad cell kind: " + s);
+  return CellKind::Combinational;
+}
+
+std::vector<double> Cell::transistor_widths() const {
+  std::vector<double> out;
+  out.reserve(transistors.size());
+  for (const auto& t : transistors) out.push_back(t.width);
+  return out;
+}
+
+double Cell::min_transistor_width() const {
+  double m = 0.0;
+  for (const auto& t : transistors) {
+    m = (m == 0.0) ? t.width : std::min(m, t.width);
+  }
+  return m;
+}
+
+std::vector<int> Cell::regions_of(Polarity p) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (regions[i].polarity == p) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Cell::critical_regions(Polarity p, double threshold) const {
+  std::vector<int> out;
+  for (int r : regions_of(p)) {
+    bool critical = false;
+    for (const auto& t : transistors) {
+      if (t.region == r && t.width <= threshold) {
+        critical = true;
+        break;
+      }
+    }
+    if (critical) out.push_back(r);
+  }
+  return out;
+}
+
+double Cell::region_fet_width(int r) const {
+  CNY_EXPECT(r >= 0 && static_cast<std::size_t>(r) < regions.size());
+  double w = 0.0;
+  for (const auto& t : transistors) {
+    if (t.region == r) w = std::max(w, t.width);
+  }
+  return w;
+}
+
+void Cell::validate() const {
+  CNY_ENSURE_MSG(!name.empty(), "cell without a name");
+  CNY_ENSURE(width > 0.0 && height > 0.0);
+  CNY_ENSURE(!transistors.empty());
+  CNY_ENSURE(!regions.empty());
+  for (const auto& t : transistors) {
+    CNY_ENSURE_MSG(t.width > 0.0, "non-positive transistor width in " + name);
+    CNY_ENSURE_MSG(
+        t.region >= 0 && static_cast<std::size_t>(t.region) < regions.size(),
+        "bad region index in " + name);
+    CNY_ENSURE_MSG(regions[static_cast<std::size_t>(t.region)].polarity ==
+                       t.polarity,
+                   "transistor/region polarity mismatch in " + name);
+  }
+  for (const auto& r : regions) {
+    CNY_ENSURE_MSG(!r.rect.empty(), "empty active region in " + name);
+    CNY_ENSURE_MSG(r.rect.left() >= 0.0 && r.rect.right() <= width + 1e-9 &&
+                       r.rect.bottom() >= 0.0 &&
+                       r.rect.top() <= height + 1e-9,
+                   "active region outside cell box in " + name);
+  }
+}
+
+}  // namespace cny::celllib

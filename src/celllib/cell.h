@@ -1,0 +1,79 @@
+// Standard-cell data model.
+//
+// A cell is a named template (e.g. AOI222_X1) with transistors grouped into
+// *active regions* — the rectangles of semiconducting material that CNTs
+// must cross (Fig 1.1). The aligned-active transform of Sec 3.2 operates on
+// these rectangles. Geometry convention: x runs along the standard-cell row
+// (the CNT growth direction), y is vertical; a transistor of width W needs an
+// active region of y-extent W.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace cny::celllib {
+
+enum class Polarity { N, P };
+enum class CellKind { Combinational, Buffer, Sequential };
+
+[[nodiscard]] const char* to_string(Polarity p);
+[[nodiscard]] const char* to_string(CellKind k);
+[[nodiscard]] Polarity polarity_from_string(const std::string& s);
+[[nodiscard]] CellKind kind_from_string(const std::string& s);
+
+struct Transistor {
+  std::string name;       ///< e.g. "MN0"
+  Polarity polarity = Polarity::N;
+  double width = 0.0;     ///< FET width in nm (y-extent of its channel)
+  int region = 0;         ///< index into Cell::regions
+};
+
+struct ActiveRegion {
+  Polarity polarity = Polarity::N;
+  geom::Rect rect;        ///< within-cell placement; rect.h is the FET width
+};
+
+struct Pin {
+  std::string name;
+  double x = 0.0;         ///< x position within the cell (I/O pins are kept
+                          ///< in place by the transform, Sec 3.3)
+};
+
+class Cell {
+ public:
+  std::string name;        ///< "AOI222_X1"
+  std::string family;      ///< "AOI222"
+  int drive = 1;           ///< 1, 2, 4, ...
+  CellKind kind = CellKind::Combinational;
+  double width = 0.0;      ///< cell x-extent, nm
+  double height = 0.0;     ///< cell y-extent, nm
+  std::vector<Transistor> transistors;
+  std::vector<ActiveRegion> regions;
+  std::vector<Pin> pins;
+
+  /// Widths of all transistors (order matches `transistors`).
+  [[nodiscard]] std::vector<double> transistor_widths() const;
+
+  /// Smallest transistor width in the cell; 0 for an empty cell.
+  [[nodiscard]] double min_transistor_width() const;
+
+  /// Indices of regions with the given polarity.
+  [[nodiscard]] std::vector<int> regions_of(Polarity p) const;
+
+  /// Indices of regions containing at least one transistor whose width is
+  /// <= `threshold` (the paper's *critical active regions*, Sec 3.2 step 2).
+  [[nodiscard]] std::vector<int> critical_regions(Polarity p,
+                                                  double threshold) const;
+
+  /// Largest transistor width inside region `r` (its required y-extent).
+  [[nodiscard]] double region_fet_width(int r) const;
+
+  /// Consistency checks: region indices valid, widths positive, regions
+  /// inside the cell box. Throws ContractViolation on failure.
+  void validate() const;
+};
+
+}  // namespace cny::celllib

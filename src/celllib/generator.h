@@ -1,0 +1,81 @@
+// Template-driven synthetic standard-cell library generation.
+//
+// We cannot ship the Nangate 45 nm Open Cell Library GDS or a commercial
+// 65 nm library, so we synthesise geometrically realistic stand-ins whose
+// *aggregate statistics* (cell count, drive-strength spread, transistor width
+// distribution, active-region structure) are calibrated to the regimes the
+// paper reports. The downstream algorithms consume only this geometry, so a
+// faithful statistical stand-in preserves every experiment's behaviour
+// (substitution table in DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "celllib/library.h"
+
+namespace cny::celllib {
+
+/// Describes one logic family to instantiate at several drive strengths.
+struct FamilyTemplate {
+  std::string family;       ///< "AOI222"
+  CellKind kind = CellKind::Combinational;
+  int fanin = 2;            ///< number of logic inputs
+  int n_fets = 4;           ///< NMOS transistor count
+  int p_fets = 4;           ///< PMOS transistor count
+  int n_stack = 1;          ///< deepest series stack in the pull-down
+  int p_stack = 1;          ///< deepest series stack in the pull-up
+  int n_regions = 1;        ///< active regions for NMOS
+  int p_regions = 1;        ///< active regions for PMOS
+  /// When true, the extra regions of a polarity sit at *different y*
+  /// (vertically folded layout) and overlap in x — the geometry that makes
+  /// single-grid aligned-active enforcement widen the cell (Sec 3.3).
+  bool folded = false;
+  std::vector<int> drives;  ///< e.g. {1, 2, 4}
+};
+
+/// Process-rule knobs for geometry synthesis.
+struct GeometryRules {
+  double node_nm = 45.0;
+  double cell_height = 1400.0;      ///< nm between rails
+  double min_width_n = 90.0;        ///< minimum NMOS FET width, nm
+  double unit_width_n = 120.0;      ///< X1 drive-unit NMOS width, nm
+  double beta = 1.5;                ///< P/N width ratio
+  double gate_pitch = 190.0;        ///< poly pitch: x space per transistor
+  double active_spacing = 140.0;    ///< min x gap between active regions
+  double cell_margin = 95.0;        ///< x margin at both cell edges
+  double region_y_base_n = 150.0;   ///< lowest n-active bottom edge
+  double region_y_gap = 60.0;       ///< y gap between folded regions
+  /// Extra pseudo-random y offset spread (per family) applied to active
+  /// region bottom edges — models template diversity across a hand-crafted
+  /// library; this spread is what limits correlation *before* the
+  /// aligned-active restriction (Table 1, middle column).
+  double region_y_jitter = 95.0;
+  /// Folded-template stagger: x gap between vertically adjacent regions
+  /// (legal below the same-y spacing rule) drawn per family from
+  /// [fold_gap_min, fold_gap_max], and the maximum fraction of a region's
+  /// width that may x-overlap its fold neighbour.
+  double fold_gap_min = 20.0;
+  double fold_gap_max = 60.0;
+  double fold_overlap_max = 0.12;
+};
+
+/// Deterministically generates a library from templates. `seed_label` feeds
+/// the per-family y-jitter hash (same label -> identical library).
+[[nodiscard]] Library generate_library(const std::string& name,
+                                       const GeometryRules& rules,
+                                       const std::vector<FamilyTemplate>& families,
+                                       std::uint64_t seed_label);
+
+/// The 134-cell Nangate-45-like library used for the paper's main flow.
+[[nodiscard]] Library make_nangate45_like();
+
+/// The 775-cell commercial-65-nm-like library of Sec 3.3 / Table 2 —
+/// a richer family mix with more folded high-fan-in and sequential cells.
+[[nodiscard]] Library make_commercial65_like();
+
+/// Geometry rules matching each generator (exposed for tests/benches).
+[[nodiscard]] GeometryRules nangate45_rules();
+[[nodiscard]] GeometryRules commercial65_rules();
+
+}  // namespace cny::celllib

@@ -1,0 +1,142 @@
+#include "celllib/liberty_lite.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace cny::celllib {
+
+using cny::util::parse_double;
+using cny::util::parse_long;
+using cny::util::split_ws;
+
+void write_liberty_lite(const Library& lib, std::ostream& os) {
+  os.precision(17);
+  os << "library \"" << lib.name() << "\" node " << lib.node_nm() << "\n";
+  for (const auto& c : lib.cells()) {
+    os << "cell " << c.name << " family " << c.family << " drive " << c.drive
+       << " kind " << to_string(c.kind) << " width " << c.width << " height "
+       << c.height << "\n";
+    for (const auto& r : c.regions) {
+      os << "  region " << to_string(r.polarity) << " x " << r.rect.x << " y "
+         << r.rect.y << " w " << r.rect.w << " h " << r.rect.h << "\n";
+    }
+    for (const auto& t : c.transistors) {
+      os << "  transistor " << t.name << ' ' << to_string(t.polarity) << " w "
+         << t.width << " region " << t.region << "\n";
+    }
+    for (const auto& p : c.pins) {
+      os << "  pin " << p.name << " x " << p.x << "\n";
+    }
+    os << "end\n";
+  }
+  os << "endlibrary\n";
+}
+
+std::string to_liberty_lite(const Library& lib) {
+  std::ostringstream os;
+  write_liberty_lite(lib, os);
+  return os.str();
+}
+
+Library read_liberty_lite(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+  Library lib;
+  Cell current;
+  bool in_cell = false;
+  bool have_library = false;
+
+  const auto fail = [&](const std::string& msg) {
+    CNY_EXPECT_MSG(false,
+                   "liberty-lite line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = split_ws(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& kw = tokens[0];
+
+    if (kw == "library") {
+      if (tokens.size() != 4 || tokens[2] != "node") fail("bad library header");
+      std::string name = tokens[1];
+      if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+        name = name.substr(1, name.size() - 2);
+      }
+      lib = Library(name, parse_double(tokens[3]));
+      have_library = true;
+    } else if (kw == "cell") {
+      if (!have_library) fail("cell before library header");
+      if (in_cell) fail("nested cell");
+      if (tokens.size() != 12) fail("bad cell header");
+      current = Cell{};
+      current.name = tokens[1];
+      if (tokens[2] != "family") fail("expected 'family'");
+      current.family = tokens[3];
+      current.drive = static_cast<int>(parse_long(tokens[5]));
+      current.kind = kind_from_string(tokens[7]);
+      current.width = parse_double(tokens[9]);
+      current.height = parse_double(tokens[11]);
+      in_cell = true;
+    } else if (kw == "region") {
+      if (!in_cell) fail("region outside cell");
+      if (tokens.size() != 10) fail("bad region line");
+      ActiveRegion r;
+      r.polarity = polarity_from_string(tokens[1]);
+      r.rect = geom::Rect{parse_double(tokens[3]), parse_double(tokens[5]),
+                          parse_double(tokens[7]), parse_double(tokens[9])};
+      current.regions.push_back(r);
+    } else if (kw == "transistor") {
+      if (!in_cell) fail("transistor outside cell");
+      if (tokens.size() != 7) fail("bad transistor line");
+      Transistor t;
+      t.name = tokens[1];
+      t.polarity = polarity_from_string(tokens[2]);
+      t.width = parse_double(tokens[4]);
+      t.region = static_cast<int>(parse_long(tokens[6]));
+      current.transistors.push_back(std::move(t));
+    } else if (kw == "pin") {
+      if (!in_cell) fail("pin outside cell");
+      if (tokens.size() != 4) fail("bad pin line");
+      current.pins.push_back(Pin{tokens[1], parse_double(tokens[3])});
+    } else if (kw == "end") {
+      if (!in_cell) fail("end outside cell");
+      current.validate();
+      lib.add(std::move(current));
+      current = Cell{};
+      in_cell = false;
+    } else if (kw == "endlibrary") {
+      if (in_cell) fail("endlibrary inside cell");
+      lib.validate();
+      return lib;
+    } else {
+      fail("unknown keyword: " + kw);
+    }
+  }
+  fail("missing endlibrary");
+  return lib;  // unreachable
+}
+
+Library from_liberty_lite(const std::string& text) {
+  std::istringstream is(text);
+  return read_liberty_lite(is);
+}
+
+void save_liberty_lite(const Library& lib, const std::string& path) {
+  std::ofstream os(path);
+  CNY_EXPECT_MSG(static_cast<bool>(os), "cannot open for write: " + path);
+  write_liberty_lite(lib, os);
+  CNY_EXPECT_MSG(static_cast<bool>(os), "write failed: " + path);
+}
+
+Library load_liberty_lite(const std::string& path) {
+  std::ifstream is(path);
+  CNY_EXPECT_MSG(static_cast<bool>(is), "cannot open for read: " + path);
+  return read_liberty_lite(is);
+}
+
+}  // namespace cny::celllib

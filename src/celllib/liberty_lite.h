@@ -1,0 +1,34 @@
+// Liberty-lite: a compact line-oriented text format for cell libraries, so
+// generated/transformed libraries can be saved, diffed, and reloaded.
+//
+//   library "nangate45_like" node 45
+//   cell AOI222_X1 family AOI222 drive 1 kind comb width 2090 height 1400
+//     region N x 95 y 200 w 380 h 155
+//     transistor MN0 N w 155 region 0
+//     pin A1 x 120.5
+//   end
+//   ...
+//   endlibrary
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "celllib/library.h"
+
+namespace cny::celllib {
+
+/// Serialises a library (lossless for the in-memory model).
+void write_liberty_lite(const Library& lib, std::ostream& os);
+[[nodiscard]] std::string to_liberty_lite(const Library& lib);
+
+/// Parses a library; throws ContractViolation with a line number on
+/// malformed input.
+[[nodiscard]] Library read_liberty_lite(std::istream& is);
+[[nodiscard]] Library from_liberty_lite(const std::string& text);
+
+/// File helpers (throw on I/O failure).
+void save_liberty_lite(const Library& lib, const std::string& path);
+[[nodiscard]] Library load_liberty_lite(const std::string& path);
+
+}  // namespace cny::celllib

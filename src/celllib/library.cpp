@@ -1,0 +1,86 @@
+#include "celllib/library.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/contracts.h"
+
+namespace cny::celllib {
+
+Library::Library(std::string name, double node_nm)
+    : name_(std::move(name)), node_nm_(node_nm) {
+  CNY_EXPECT(node_nm > 0.0);
+}
+
+void Library::add(Cell cell) { cells_.push_back(std::move(cell)); }
+
+const Cell* Library::find(const std::string& name) const {
+  for (const auto& c : cells_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void Library::validate() const {
+  std::set<std::string> seen;
+  for (const auto& c : cells_) {
+    c.validate();
+    CNY_ENSURE_MSG(seen.insert(c.name).second, "duplicate cell: " + c.name);
+  }
+}
+
+double Library::min_transistor_width() const {
+  double m = 0.0;
+  for (const auto& c : cells_) {
+    const double cm = c.min_transistor_width();
+    if (cm > 0.0) m = (m == 0.0) ? cm : std::min(m, cm);
+  }
+  return m;
+}
+
+Library Library::scaled(double new_node_nm) const {
+  CNY_EXPECT(new_node_nm > 0.0);
+  CNY_EXPECT(node_nm_ > 0.0);
+  const double f = new_node_nm / node_nm_;
+  Library out(name_ + "_s" + std::to_string(static_cast<int>(new_node_nm)),
+              new_node_nm);
+  for (Cell c : cells_) {
+    c.width *= f;
+    c.height *= f;
+    for (auto& t : c.transistors) t.width *= f;
+    for (auto& r : c.regions) {
+      r.rect.x *= f;
+      r.rect.y *= f;
+      r.rect.w *= f;
+      r.rect.h *= f;
+    }
+    for (auto& p : c.pins) p.x *= f;
+    out.add(std::move(c));
+  }
+  return out;
+}
+
+void Library::upsize_transistors(const std::function<double(double)>& fn) {
+  for (auto& c : cells_) {
+    for (auto& t : c.transistors) {
+      const double w = fn(t.width);
+      CNY_EXPECT_MSG(w >= t.width, "upsize function shrank a transistor");
+      t.width = w;
+    }
+    // Re-derive region y-extents (cells have vertical slack between rails
+    // for the smallest devices — Sec 2.2). N regions grow upward from their
+    // bottom edge; P regions grow downward from their top edge, mirroring
+    // how each polarity faces its supply rail.
+    for (std::size_t r = 0; r < c.regions.size(); ++r) {
+      const double need = c.region_fet_width(static_cast<int>(r));
+      if (need > c.regions[r].rect.h) {
+        if (c.regions[r].polarity == Polarity::P) {
+          c.regions[r].rect.y -= need - c.regions[r].rect.h;
+        }
+        c.regions[r].rect.h = need;
+      }
+    }
+  }
+}
+
+}  // namespace cny::celllib

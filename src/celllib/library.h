@@ -1,0 +1,52 @@
+// Library container: a named set of cells at a technology node, plus the
+// aggregate statistics the yield flow consumes and linear technology scaling
+// (Sec 2.2: "the CNFET width distribution scales linearly with technology
+// node, while the inter-CNT pitch remains constant").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "celllib/cell.h"
+
+namespace cny::celllib {
+
+class Library {
+ public:
+  Library() = default;
+  Library(std::string name, double node_nm);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double node_nm() const { return node_nm_; }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+  [[nodiscard]] std::vector<Cell>& cells() { return cells_; }
+
+  void add(Cell cell);
+
+  /// Cell lookup by exact name; nullptr when absent.
+  [[nodiscard]] const Cell* find(const std::string& name) const;
+
+  /// Throws if any cell fails validation or names collide.
+  void validate() const;
+
+  /// Minimum transistor width over the whole library.
+  [[nodiscard]] double min_transistor_width() const;
+
+  /// Returns a copy with all geometry (cell boxes, regions, transistor
+  /// widths, pin positions) multiplied by `factor` and the node relabelled.
+  [[nodiscard]] Library scaled(double new_node_nm) const;
+
+  /// Applies `fn` to every transistor width in the library (used by the
+  /// upsizing step: w -> max(w, W_min)); region y-extents are re-derived so
+  /// geometry stays consistent.
+  void upsize_transistors(const std::function<double(double)>& fn);
+
+ private:
+  std::string name_;
+  double node_nm_ = 0.0;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace cny::celllib

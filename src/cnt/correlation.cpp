@@ -1,0 +1,65 @@
+#include "cnt/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::cnt {
+
+double poisson_count_correlation(double width, double offset) {
+  CNY_EXPECT(width > 0.0);
+  CNY_EXPECT(offset >= 0.0);
+  return std::max(0.0, width - offset) / width;
+}
+
+double shared_type_correlation(double width, double offset) {
+  // Types are iid marks on the tubes, so the metallic-count correlation of
+  // two windows equals their shared-tube fraction — the same geometry as
+  // the Poisson count correlation.
+  return poisson_count_correlation(width, offset);
+}
+
+CountCorrelation sample_count_correlation(const PitchModel& pitch,
+                                          double width, double offset,
+                                          std::size_t n_rows,
+                                          rng::Xoshiro256& rng) {
+  CNY_EXPECT(width > 0.0);
+  CNY_EXPECT(offset >= 0.0);
+  CNY_EXPECT(n_rows >= 16);
+
+  const double span = offset + width;
+  double sum_a = 0.0, sum_b = 0.0, sum_aa = 0.0, sum_bb = 0.0, sum_ab = 0.0;
+  for (std::size_t row = 0; row < n_rows; ++row) {
+    long count_a = 0, count_b = 0;
+    double y = pitch.sample_equilibrium(rng);
+    while (y < span) {
+      if (y < width) ++count_a;
+      if (y >= offset) ++count_b;
+      y += pitch.sample(rng);
+    }
+    const double a = static_cast<double>(count_a);
+    const double b = static_cast<double>(count_b);
+    sum_a += a;
+    sum_b += b;
+    sum_aa += a * a;
+    sum_bb += b * b;
+    sum_ab += a * b;
+  }
+  const double n = static_cast<double>(n_rows);
+  const double mean_a = sum_a / n;
+  const double mean_b = sum_b / n;
+  const double var_a = sum_aa / n - mean_a * mean_a;
+  const double var_b = sum_bb / n - mean_b * mean_b;
+  const double cov = sum_ab / n - mean_a * mean_b;
+
+  CountCorrelation out;
+  out.mean_a = mean_a;
+  out.mean_b = mean_b;
+  out.overlap = std::max(0.0, width - offset);
+  out.correlation =
+      (var_a > 0.0 && var_b > 0.0) ? cov / std::sqrt(var_a * var_b) : 0.0;
+  return out;
+}
+
+}  // namespace cny::cnt

@@ -1,0 +1,103 @@
+// Generative CNT growth models producing explicit tube populations.
+//
+// Coordinate convention (matches Fig 3.1): directional CNTs run along +x;
+// their y positions follow the stationary renewal pitch process. The
+// uncorrelated model grows tubes at random positions/orientations (Fig 3.1a).
+//
+// These generators feed the Monte Carlo yield engine and the SVG renders;
+// the analytic models (count_distribution.h) are validated against them.
+#pragma once
+
+#include <vector>
+
+#include "cnt/pitch_model.h"
+#include "cnt/process.h"
+#include "geom/rect.h"
+#include "rng/engine.h"
+
+namespace cny::cnt {
+
+/// One grown tube. For directional growth the tube occupies
+/// x ∈ [x0, x0 + length) at constant y; for uncorrelated growth (angle != 0)
+/// it is a segment starting at (x0, y) with direction `angle` radians.
+struct Cnt {
+  double y = 0.0;
+  double x0 = 0.0;
+  double length = 0.0;
+  double angle = 0.0;       ///< 0 for directional growth
+  double diameter = 1.5;    ///< nm; drives per-tube current, not count failure
+  bool metallic = false;
+  bool removed = false;
+
+  /// Functional == semiconducting and not removed (provides gate-controlled
+  /// conduction).
+  [[nodiscard]] bool functional() const {
+    return ProcessParams::functional(metallic, removed);
+  }
+  /// A surviving metallic tube (short / noise-margin hazard).
+  [[nodiscard]] bool surviving_metallic() const { return metallic && !removed; }
+  /// Whether the tube crosses coordinate x (directional tubes only).
+  [[nodiscard]] bool covers_x(double x) const {
+    return x >= x0 && x < x0 + length;
+  }
+};
+
+/// Lognormal CNT diameter model (mean ~1.5 nm, CV ~0.15 unless overridden).
+struct DiameterModel {
+  double mean = 1.5;
+  double cv = 0.15;
+  [[nodiscard]] double sample(cny::rng::Xoshiro256& rng) const;
+};
+
+/// Directional (aligned) growth, e.g. on quartz [Kang 07, Patil 09b]:
+/// perfectly parallel tubes of length `cnt_length` (the paper uses
+/// L_CNT = 200 µm) whose y positions form the stationary pitch process.
+class DirectionalGrowth {
+ public:
+  DirectionalGrowth(PitchModel pitch, ProcessParams process,
+                    double cnt_length);
+
+  [[nodiscard]] const PitchModel& pitch() const { return pitch_; }
+  [[nodiscard]] const ProcessParams& process() const { return process_; }
+  [[nodiscard]] double cnt_length() const { return cnt_length_; }
+
+  /// Grows every tube whose y lies in [y_lo, y_hi) for a chip that spans
+  /// x ∈ [0, x_extent). Tube x origins are uniform on [-L_CNT, x_extent) so
+  /// coverage statistics are stationary in x. Applies the removal process.
+  [[nodiscard]] std::vector<Cnt> generate_band(cny::rng::Xoshiro256& rng,
+                                               double y_lo, double y_hi,
+                                               double x_extent) const;
+
+  /// Fast path for the yield MC: y positions of *functional* tubes within
+  /// [y_lo, y_hi), ignoring x (valid when every FET x-span lies within one
+  /// tube length — the paper's perfect-intra-L_CNT-correlation assumption).
+  [[nodiscard]] std::vector<double> functional_positions(
+      cny::rng::Xoshiro256& rng, double y_lo, double y_hi) const;
+
+ private:
+  PitchModel pitch_;
+  ProcessParams process_;
+  DiameterModel diameter_;
+  double cnt_length_;
+};
+
+/// Non-directional growth (Fig 3.1a): tube centres form a 2-D Poisson field
+/// of the requested areal density with uniformly random orientation. Used
+/// for rendering and for validating that it yields *uncorrelated* CNFETs.
+class UncorrelatedGrowth {
+ public:
+  /// `tubes_per_um2` — areal density of tube centres; `tube_length` nm.
+  UncorrelatedGrowth(double tubes_per_um2, double tube_length,
+                     ProcessParams process);
+
+  [[nodiscard]] std::vector<Cnt> generate_field(cny::rng::Xoshiro256& rng,
+                                                const geom::Rect& area) const;
+
+ private:
+  double density_per_nm2_;
+  double tube_length_;
+  ProcessParams process_;
+  DiameterModel diameter_;
+};
+
+}  // namespace cny::cnt

@@ -1,0 +1,76 @@
+#include "cnt/pitch_model.h"
+
+#include <cmath>
+
+#include "numeric/roots.h"
+#include "numeric/special.h"
+#include "rng/distributions.h"
+#include "util/contracts.h"
+
+namespace cny::cnt {
+
+using cny::numeric::gamma_cdf;
+using cny::numeric::gamma_pdf;
+using cny::numeric::gamma_q;
+
+PitchModel::PitchModel(double mean, double cv) : mean_(mean), cv_(cv) {
+  CNY_EXPECT(mean > 0.0);
+  CNY_EXPECT(cv > 0.0);
+  shape_ = 1.0 / (cv * cv);
+  scale_ = mean * cv * cv;
+}
+
+bool PitchModel::is_poisson() const { return std::fabs(cv_ - 1.0) < 1e-12; }
+
+double PitchModel::pdf(double s) const { return gamma_pdf(s, shape_, scale_); }
+
+double PitchModel::cdf(double s) const { return gamma_cdf(s, shape_, scale_); }
+
+double PitchModel::equilibrium_pdf(double u) const {
+  if (u < 0.0) return 0.0;
+  return gamma_q(shape_, u / scale_) / mean_;
+}
+
+double PitchModel::equilibrium_cdf(double u) const {
+  if (u <= 0.0) return 0.0;
+  const double q = gamma_q(shape_, u / scale_);
+  const double f_k1 = gamma_cdf(u, shape_ + 1.0, scale_);
+  const double val = (u * q + mean_ * f_k1) / mean_;
+  // Guard against rounding just past 1 for large u.
+  return val > 1.0 ? 1.0 : val;
+}
+
+double PitchModel::upper_quantile(double eps) const {
+  CNY_EXPECT(eps > 0.0 && eps < 1.0);
+  // Bracket: Gamma tails are sub-exponential in u/θ, so expand until the
+  // tail is below eps.
+  double hi = mean_;
+  while (gamma_q(shape_, hi / scale_) > eps) hi *= 2.0;
+  const auto res = cny::numeric::brent(
+      [&](double u) { return gamma_q(shape_, u / scale_) - eps; }, 0.0, hi,
+      1e-12 * mean_);
+  return res.x;
+}
+
+double PitchModel::sample(cny::rng::Xoshiro256& rng) const {
+  return cny::rng::sample_gamma(rng, shape_, scale_);
+}
+
+double PitchModel::sample_equilibrium(cny::rng::Xoshiro256& rng) const {
+  if (is_poisson()) {
+    // Equilibrium distribution of an exponential pitch is the same
+    // exponential (memorylessness).
+    return cny::rng::sample_exponential(rng, mean_);
+  }
+  const double u = rng.uniform();
+  if (u <= 0.0) return 0.0;
+  // Invert F_e by bracketed root finding; F_e is continuous and increasing.
+  double hi = mean_;
+  while (equilibrium_cdf(hi) < u) hi *= 2.0;
+  const auto res = cny::numeric::brent(
+      [&](double v) { return equilibrium_cdf(v) - u; }, 0.0, hi,
+      1e-10 * mean_);
+  return res.x;
+}
+
+}  // namespace cny::cnt

@@ -1,0 +1,60 @@
+// Inter-CNT pitch model.
+//
+// CNT density variation is modelled as in [Zhang 09a]: positions of CNTs
+// along the direction perpendicular to growth form a stationary renewal
+// process whose inter-CNT pitch s has mean μ_S (4 nm, the optimised value of
+// [Deng 07]) and coefficient of variation σ_S/μ_S. We give the pitch a
+// Gamma(k, θ) law — it is non-negative, spans sub-Poisson (CV < 1) through
+// super-Poisson (CV > 1) regularity, and its convolutions stay Gamma, which
+// makes the CNT count distribution (count_distribution.h) computable with
+// incomplete-gamma functions instead of brute-force convolution.
+//
+// CV = 1 recovers the Poisson process exactly (exponential pitch).
+#pragma once
+
+#include "rng/engine.h"
+
+namespace cny::cnt {
+
+class PitchModel {
+ public:
+  /// `mean` is μ_S in nm (> 0); `cv` is σ_S/μ_S (> 0).
+  PitchModel(double mean, double cv);
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double cv() const { return cv_; }
+  [[nodiscard]] double stddev() const { return mean_ * cv_; }
+  /// Gamma shape k = 1/CV^2 and scale θ = μ_S · CV^2.
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+  /// Mean linear CNT density, 1/μ_S (per nm).
+  [[nodiscard]] double density() const { return 1.0 / mean_; }
+  [[nodiscard]] bool is_poisson() const;
+
+  /// Pitch pdf/cdf.
+  [[nodiscard]] double pdf(double s) const;
+  [[nodiscard]] double cdf(double s) const;
+
+  /// Stationary-renewal equilibrium (forward recurrence time) distribution:
+  /// the distance from an arbitrary origin to the next CNT.
+  ///   f_e(u) = (1 - F(u)) / μ_S
+  ///   F_e(u) = [u (1 - F(u)) + μ_S F_{k+1}(u)] / μ_S      (closed form)
+  [[nodiscard]] double equilibrium_pdf(double u) const;
+  [[nodiscard]] double equilibrium_cdf(double u) const;
+
+  /// u such that 1 - F(u) = eps (upper pitch quantile); used to truncate
+  /// numerical integrals safely.
+  [[nodiscard]] double upper_quantile(double eps) const;
+
+  /// Draws an ordinary pitch.
+  [[nodiscard]] double sample(cny::rng::Xoshiro256& rng) const;
+
+  /// Draws from the equilibrium distribution (numeric inversion; exact
+  /// exponential draw in the Poisson case).
+  [[nodiscard]] double sample_equilibrium(cny::rng::Xoshiro256& rng) const;
+
+ private:
+  double mean_, cv_, shape_, scale_;
+};
+
+}  // namespace cny::cnt

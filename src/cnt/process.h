@@ -1,0 +1,61 @@
+// CNT-processing parameters (Sec 2.1 of the paper).
+//
+// During growth each CNT is metallic with probability p_m and semiconducting
+// with probability p_s = 1 - p_m. An m-CNT removal step [Patil 09c] removes a
+// metallic CNT with conditional probability p_Rm (>= 99.99 % required in
+// practice, so the paper assumes p_Rm ≈ 1) and inadvertently removes a
+// semiconducting CNT with conditional probability p_Rs.
+#pragma once
+
+#include "util/contracts.h"
+
+namespace cny::cnt {
+
+struct ProcessParams {
+  double p_metallic = 0.33;   ///< p_m: probability a grown CNT is metallic
+  double p_remove_m = 1.0;    ///< p_Rm: removal probability given metallic
+  double p_remove_s = 0.0;    ///< p_Rs: removal probability given semiconducting
+
+  void validate() const {
+    CNY_EXPECT(p_metallic >= 0.0 && p_metallic <= 1.0);
+    CNY_EXPECT(p_remove_m >= 0.0 && p_remove_m <= 1.0);
+    CNY_EXPECT(p_remove_s >= 0.0 && p_remove_s <= 1.0);
+  }
+
+  /// Probability a CNT is semiconducting.
+  [[nodiscard]] double p_semiconducting() const { return 1.0 - p_metallic; }
+
+  /// Probability a single CNT contributes to CNT-count failure, eq. (2.1):
+  /// p_f = p_m + p_s * p_Rs. A CNT is *functional* only if it is
+  /// semiconducting and survives removal; an unremoved m-CNT conducts but
+  /// provides no gate control, so it cannot avert a count failure either
+  /// (hence p_f does not depend on p_Rm).
+  [[nodiscard]] double p_fail() const {
+    return p_metallic + p_semiconducting() * p_remove_s;
+  }
+
+  /// Probability a CNT is a *surviving metallic* CNT (source of the
+  /// short/noise-margin failure mode of [Zhang 09b], tracked as an extension).
+  [[nodiscard]] double p_short() const {
+    return p_metallic * (1.0 - p_remove_m);
+  }
+
+  /// Whether a CNT of the given kind/removal outcome provides a working
+  /// semiconducting channel.
+  [[nodiscard]] static bool functional(bool metallic, bool removed) {
+    return !metallic && !removed;
+  }
+};
+
+/// The three processing conditions plotted in Fig 2.1.
+[[nodiscard]] inline ProcessParams fig21_worst() {
+  return {.p_metallic = 0.33, .p_remove_m = 1.0, .p_remove_s = 0.30};
+}
+[[nodiscard]] inline ProcessParams fig21_mid() {
+  return {.p_metallic = 0.33, .p_remove_m = 1.0, .p_remove_s = 0.0};
+}
+[[nodiscard]] inline ProcessParams fig21_ideal() {
+  return {.p_metallic = 0.0, .p_remove_m = 1.0, .p_remove_s = 0.0};
+}
+
+}  // namespace cny::cnt

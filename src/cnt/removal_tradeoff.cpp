@@ -1,0 +1,76 @@
+#include "cnt/removal_tradeoff.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::cnt {
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  CNY_EXPECT(p > 0.0 && p < 1.0);
+  // Newton iteration on the CDF from a logistic seed — the CDF is smooth
+  // and monotone, so a handful of steps reaches ~1e-14.
+  double z = 4.91 * (std::pow(p, 0.14) - std::pow(1.0 - p, 0.14));
+  for (int i = 0; i < 60; ++i) {
+    const double f = normal_cdf(z) - p;
+    const double pdf =
+        std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+    if (pdf < 1e-300) break;
+    const double step = f / pdf;
+    z -= step;
+    if (std::fabs(step) < 1e-14 * (1.0 + std::fabs(z))) break;
+  }
+  return z;
+}
+
+RemovalTradeoff::RemovalTradeoff(double selectivity)
+    : selectivity_(selectivity) {
+  CNY_EXPECT(selectivity > 0.0);
+}
+
+double RemovalTradeoff::p_rs_at(double p_rm) const {
+  CNY_EXPECT(p_rm > 0.0 && p_rm < 1.0);
+  const double t = normal_quantile(p_rm);
+  return normal_cdf(t - selectivity_);
+}
+
+ProcessParams RemovalTradeoff::process_at(double p_rm,
+                                          double p_metallic) const {
+  ProcessParams process;
+  process.p_metallic = p_metallic;
+  process.p_remove_m = p_rm;
+  process.p_remove_s = p_rs_at(p_rm);
+  process.validate();
+  return process;
+}
+
+std::vector<RemovalPoint> RemovalTradeoff::frontier(double lo, double hi,
+                                                    int n) const {
+  CNY_EXPECT(0.0 < lo && lo < hi && hi < 1.0);
+  CNY_EXPECT(n >= 2);
+  // Sweep uniformly in probit space so the interesting high-p_Rm corner is
+  // well resolved.
+  const double t_lo = normal_quantile(lo);
+  const double t_hi = normal_quantile(hi);
+  std::vector<RemovalPoint> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double t = t_lo + (t_hi - t_lo) * i / (n - 1);
+    out.push_back(RemovalPoint{t, normal_cdf(t),
+                               normal_cdf(t - selectivity_)});
+  }
+  return out;
+}
+
+double RemovalTradeoff::required_selectivity(double p_rm_target,
+                                             double p_rs_budget) {
+  CNY_EXPECT(p_rm_target > 0.0 && p_rm_target < 1.0);
+  CNY_EXPECT(p_rs_budget > 0.0 && p_rs_budget < 1.0);
+  return normal_quantile(p_rm_target) - normal_quantile(p_rs_budget);
+}
+
+}  // namespace cny::cnt

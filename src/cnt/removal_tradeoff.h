@@ -1,0 +1,63 @@
+// m-CNT removal selectivity tradeoff.
+//
+// Removal processes like VMR [Patil 09c] trade metallic-removal efficiency
+// p_Rm against collateral semiconducting loss p_Rs: pushing the removal
+// "strength" (electrical stress / etch dose) up removes more m-CNTs but
+// starts consuming s-CNTs. We model both removal probabilities as probit
+// responses to a common strength t, separated by the process selectivity s
+// (in sigma units):
+//
+//   p_Rm(t) = Φ(t),      p_Rs(t) = Φ(t - s).
+//
+// Sweeping t traces the achievable (p_Rm, p_Rs) frontier; the paper's
+// working point (p_Rm ≈ 1, p_Rs = 30 %) corresponds to s ≈ 3.2 at
+// p_Rm = 99.99 %. Used by the ablation bench to show how W_min responds to
+// process selectivity.
+#pragma once
+
+#include <vector>
+
+#include "cnt/process.h"
+
+namespace cny::cnt {
+
+struct RemovalPoint {
+  double strength = 0.0;  ///< probit drive t
+  double p_rm = 0.0;
+  double p_rs = 0.0;
+};
+
+class RemovalTradeoff {
+ public:
+  /// `selectivity` — separation s in sigma units (> 0; larger is better).
+  explicit RemovalTradeoff(double selectivity);
+
+  [[nodiscard]] double selectivity() const { return selectivity_; }
+
+  /// p_Rs achieved when the strength is tuned for the requested p_Rm.
+  [[nodiscard]] double p_rs_at(double p_rm) const;
+
+  /// The process point for a target p_Rm with the given metallic fraction.
+  [[nodiscard]] ProcessParams process_at(double p_rm,
+                                         double p_metallic = 0.33) const;
+
+  /// Samples the frontier at `n` p_Rm values in [lo, hi].
+  [[nodiscard]] std::vector<RemovalPoint> frontier(double lo = 0.90,
+                                                   double hi = 0.9999,
+                                                   int n = 20) const;
+
+  /// Selectivity needed so that p_Rs stays at `p_rs_budget` when p_Rm is
+  /// driven to `p_rm_target` (inverse problem).
+  [[nodiscard]] static double required_selectivity(double p_rm_target,
+                                                   double p_rs_budget);
+
+ private:
+  double selectivity_;
+};
+
+/// Standard normal CDF / inverse CDF used by the probit response (exposed
+/// for tests).
+[[nodiscard]] double normal_cdf(double z);
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace cny::cnt

@@ -1,0 +1,79 @@
+#include "device/drive_current.h"
+
+#include <cmath>
+
+#include "cnt/count_distribution.h"
+#include "rng/distributions.h"
+#include "util/contracts.h"
+
+namespace cny::device {
+
+CurrentStats simulate_on_current(const cnt::PitchModel& pitch,
+                                 const cnt::ProcessParams& process,
+                                 const cnt::DiameterModel& diameter,
+                                 const TubeCurrentModel& tube_model,
+                                 double width, std::size_t n_devices,
+                                 rng::Xoshiro256& rng) {
+  CNY_EXPECT(width > 0.0);
+  CNY_EXPECT(n_devices >= 2);
+
+  stats::Accumulator current;
+  stats::Accumulator count;
+  std::size_t failures = 0;
+  const double pf = process.p_fail();
+
+  for (std::size_t dev = 0; dev < n_devices; ++dev) {
+    double i_on = 0.0;
+    long n_functional = 0;
+    double y = pitch.sample_equilibrium(rng);
+    while (y < width) {
+      if (!rng::sample_bernoulli(rng, pf)) {
+        i_on += tube_model.current(diameter.sample(rng));
+        ++n_functional;
+      }
+      y += pitch.sample(rng);
+    }
+    count.add(static_cast<double>(n_functional));
+    if (n_functional == 0) {
+      ++failures;
+    } else {
+      current.add(i_on);
+    }
+  }
+
+  CurrentStats out;
+  out.devices = n_devices;
+  out.failures = failures;
+  out.mean_count = count.mean();
+  out.mean = current.mean();
+  out.stddev = current.stddev();
+  out.cv = out.mean > 0.0 ? out.stddev / out.mean : 0.0;
+  return out;
+}
+
+double analytic_current_cv(const cnt::PitchModel& pitch,
+                           const cnt::ProcessParams& process,
+                           const cnt::DiameterModel& diameter,
+                           const TubeCurrentModel& tube_model, double width) {
+  CNY_EXPECT(width > 0.0);
+  // Functional-tube count K: thinning of N(W) with retention q = 1 - p_f.
+  //   E[K]   = q·E[N]
+  //   Var(K) = q^2·Var(N) + q(1-q)·E[N]
+  const cnt::CountDistribution dist(pitch, width);
+  const double q = 1.0 - process.p_fail();
+  const double mean_k = q * dist.mean();
+  const double var_k = q * q * dist.variance() + q * (1.0 - q) * dist.mean();
+
+  // Per-tube current moments under the lognormal diameter law: X = c·d.
+  const double c = tube_model.current_per_diameter;
+  const double mean_x = c * diameter.mean;
+  const double var_x = c * c * (diameter.mean * diameter.cv) *
+                       (diameter.mean * diameter.cv);
+
+  const double mean_s = mean_k * mean_x;
+  const double var_s = mean_k * var_x + var_k * mean_x * mean_x;
+  CNY_ENSURE(mean_s > 0.0);
+  return std::sqrt(var_s) / mean_s;
+}
+
+}  // namespace cny::device

@@ -1,0 +1,61 @@
+#include "device/failure_model.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::device {
+
+FailureModel::FailureModel(cnt::PitchModel pitch, cnt::ProcessParams process)
+    : pitch_(pitch), process_(process) {
+  process_.validate();
+}
+
+double FailureModel::p_f(double width) const {
+  CNY_EXPECT(width >= 0.0);
+  if (const auto it = cache_.find(width); it != cache_.end()) {
+    return it->second;
+  }
+  const cnt::CountDistribution dist(pitch_, width);
+  const double value = dist.pgf(process_.p_fail());
+  cache_.emplace(width, value);
+  return value;
+}
+
+double FailureModel::p_f_poisson_closed_form(double width) const {
+  CNY_EXPECT(width >= 0.0);
+  CNY_EXPECT_MSG(pitch_.is_poisson(),
+                 "closed form only valid for CV = 1 (Poisson) pitch");
+  return std::exp(-width * pitch_.density() * (1.0 - process_.p_fail()));
+}
+
+stats::Interval FailureModel::p_f_monte_carlo(double width,
+                                              std::size_t n_devices,
+                                              rng::Xoshiro256& rng) const {
+  CNY_EXPECT(width > 0.0);
+  CNY_EXPECT(n_devices >= 1);
+  // Margin above/below the window so stationarity is honest even though we
+  // start the renewal at the band edge.
+  const double margin = 0.0;
+  std::size_t failures = 0;
+  const cnt::DirectionalGrowth growth(pitch_, process_, /*cnt_length=*/1.0e6);
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    const auto ys = growth.functional_positions(rng, -margin, width + margin);
+    bool any = false;
+    for (double y : ys) {
+      if (y >= 0.0 && y < width) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) ++failures;
+  }
+  return stats::wilson_ci(failures, n_devices);
+}
+
+double FailureModel::mean_count(double width) const {
+  CNY_EXPECT(width >= 0.0);
+  return width * pitch_.density();
+}
+
+}  // namespace cny::device

@@ -1,0 +1,61 @@
+// CNFET CNT-count failure model (Sec 2.1, eq. 2.2).
+//
+// A CNFET of width W contains N(W) CNTs before m-CNT removal; each CNT
+// independently "fails" (is metallic, or is semiconducting but inadvertently
+// removed) with probability p_f. The device suffers a CNT count failure when
+// every CNT fails:
+//
+//   p_F(W) = Σ_N  p_f^N · Prob{N(W) = N}  =  G_{N(W)}(p_f)
+//
+// i.e. the count distribution's probability generating function at p_f.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "cnt/count_distribution.h"
+#include "cnt/growth.h"
+#include "cnt/pitch_model.h"
+#include "cnt/process.h"
+#include "rng/engine.h"
+#include "stats/accumulator.h"
+
+namespace cny::device {
+
+class FailureModel {
+ public:
+  FailureModel(cnt::PitchModel pitch, cnt::ProcessParams process);
+
+  [[nodiscard]] const cnt::PitchModel& pitch() const { return pitch_; }
+  [[nodiscard]] const cnt::ProcessParams& process() const { return process_; }
+  [[nodiscard]] double p_fail_per_cnt() const { return process_.p_fail(); }
+
+  /// Analytic p_F(W), eq. (2.2). Results are memoised per width because the
+  /// count distribution behind each evaluation costs ~10^4 incomplete-gamma
+  /// evaluations and the solvers re-query the same widths.
+  [[nodiscard]] double p_f(double width) const;
+
+  /// Closed form for the Poisson (CV = 1) pitch special case:
+  ///   p_F = exp(-W/μ_S · (1 - p_f)).
+  /// Throws unless the pitch model is Poisson; used for validation.
+  [[nodiscard]] double p_f_poisson_closed_form(double width) const;
+
+  /// Monte Carlo estimate of p_F(W): grows tube populations over many
+  /// device instances and counts devices with zero functional tubes.
+  /// Practical only when p_F is not too rare (validation at small W /
+  /// large p_f).
+  [[nodiscard]] stats::Interval p_f_monte_carlo(double width,
+                                                std::size_t n_devices,
+                                                rng::Xoshiro256& rng) const;
+
+  /// Expected CNT count in a device of width W (= W/μ_S for the stationary
+  /// process).
+  [[nodiscard]] double mean_count(double width) const;
+
+ private:
+  cnt::PitchModel pitch_;
+  cnt::ProcessParams process_;
+  mutable std::map<double, double> cache_;
+};
+
+}  // namespace cny::device

@@ -1,0 +1,84 @@
+#include "device/timing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.h"
+#include "stats/accumulator.h"
+#include "util/contracts.h"
+
+namespace cny::device {
+
+PathDelayStats simulate_path_delay(const cnt::PitchModel& pitch,
+                                   const cnt::ProcessParams& process,
+                                   const cnt::DiameterModel& diameter,
+                                   const TubeCurrentModel& tube,
+                                   const TimingParams& timing, double width,
+                                   int stages, std::size_t n_paths,
+                                   rng::Xoshiro256& rng) {
+  CNY_EXPECT(width > 0.0);
+  CNY_EXPECT(stages >= 1);
+  CNY_EXPECT(n_paths >= 2);
+  CNY_EXPECT(timing.cap_per_nm > 0.0 && timing.k_delay > 0.0);
+
+  const double pf = process.p_fail();
+  const double load = timing.cap_per_nm * width;
+
+  stats::Accumulator acc;
+  std::vector<double> delays;
+  delays.reserve(n_paths);
+  std::size_t failed = 0;
+
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    double path_delay = 0.0;
+    bool dead = false;
+    for (int s = 0; s < stages && !dead; ++s) {
+      double i_on = 0.0;
+      double y = pitch.sample_equilibrium(rng);
+      while (y < width) {
+        if (!rng::sample_bernoulli(rng, pf)) {
+          i_on += tube.current(diameter.sample(rng));
+        }
+        y += pitch.sample(rng);
+      }
+      if (i_on <= 0.0) {
+        dead = true;
+      } else {
+        path_delay += timing.k_delay * load / i_on;
+      }
+    }
+    if (dead) {
+      ++failed;
+    } else {
+      acc.add(path_delay);
+      delays.push_back(path_delay);
+    }
+  }
+
+  PathDelayStats out;
+  out.failed_paths = failed;
+  if (!delays.empty()) {
+    out.mean = acc.mean();
+    out.stddev = acc.stddev();
+    out.cv = out.mean > 0.0 ? out.stddev / out.mean : 0.0;
+    std::sort(delays.begin(), delays.end());
+    const auto idx = static_cast<std::size_t>(0.99 * (delays.size() - 1));
+    out.p99 = delays[idx];
+    out.p99_over_mean = out.mean > 0.0 ? out.p99 / out.mean : 0.0;
+  }
+  return out;
+}
+
+double analytic_path_delay_cv(const cnt::PitchModel& pitch,
+                              const cnt::ProcessParams& process,
+                              const cnt::DiameterModel& diameter,
+                              const TubeCurrentModel& tube, double width,
+                              int stages) {
+  CNY_EXPECT(stages >= 1);
+  const double gate_cv =
+      analytic_current_cv(pitch, process, diameter, tube, width);
+  return gate_cv / std::sqrt(static_cast<double>(stages));
+}
+
+}  // namespace cny::device

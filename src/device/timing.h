@@ -1,0 +1,57 @@
+// First-order CNFET gate timing under CNT-induced drive variation.
+//
+// The paper's Sec 1 motivation: CNT imperfections cause drive-current
+// variations, hence circuit *performance* variations, and statistical
+// averaging (σ/μ ∝ 1/√N) is why wide devices behave. This module closes
+// that loop quantitatively: gate delay d = k_d · C_load / I_on, with I_on
+// the random sum over functional tubes (drive_current.h), propagated along
+// an n-stage logic path. Used to show the performance side-effect of the
+// W_min upsizing flow (wider devices also tighten the delay distribution).
+#pragma once
+
+#include "cnt/growth.h"
+#include "cnt/pitch_model.h"
+#include "cnt/process.h"
+#include "device/drive_current.h"
+#include "rng/engine.h"
+
+namespace cny::device {
+
+struct TimingParams {
+  /// Load capacitance per nm of fan-out gate width (aF/nm) — a lumped
+  /// technology constant; only ratios matter for the statistics here.
+  double cap_per_nm = 0.8;
+  /// Delay constant k_d in ps·µA/aF units folded to 1 (delay is reported
+  /// in arbitrary-but-consistent units).
+  double k_delay = 1.0;
+};
+
+struct PathDelayStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;
+  double p99 = 0.0;           ///< 99th percentile path delay
+  double p99_over_mean = 0.0; ///< timing-margin ratio designers care about
+  std::size_t failed_paths = 0;  ///< paths containing a dead (0-tube) gate
+};
+
+/// Simulates `n_paths` logic paths of `stages` identical gates of width
+/// `width` driving identical loads; per-gate delay = k·C/I with I the
+/// simulated tube-sum current. Gates with zero functional tubes mark the
+/// path failed (infinite delay) and are excluded from the moments.
+[[nodiscard]] PathDelayStats simulate_path_delay(
+    const cnt::PitchModel& pitch, const cnt::ProcessParams& process,
+    const cnt::DiameterModel& diameter, const TubeCurrentModel& tube,
+    const TimingParams& timing, double width, int stages,
+    std::size_t n_paths, rng::Xoshiro256& rng);
+
+/// First-order analytic CV of an n-stage path delay: per-stage delay CV
+/// equals the drive CV (delay ∝ 1/I, to first order), and independent
+/// stages average: CV_path ≈ CV_gate / √n.
+[[nodiscard]] double analytic_path_delay_cv(const cnt::PitchModel& pitch,
+                                            const cnt::ProcessParams& process,
+                                            const cnt::DiameterModel& diameter,
+                                            const TubeCurrentModel& tube,
+                                            double width, int stages);
+
+}  // namespace cny::device

@@ -1,0 +1,59 @@
+#include "experiments/fig2_1.h"
+
+#include "util/strings.h"
+#include "yield/wmin_solver.h"
+
+namespace cny::experiments {
+
+Fig21Result run_fig2_1(const PaperParams& params, double w_lo, double w_hi,
+                       double w_step) {
+  const auto pitch = params.pitch();
+  device::FailureModel worst(pitch, cnt::fig21_worst());
+  device::FailureModel mid(pitch, cnt::fig21_mid());
+  device::FailureModel ideal(pitch, cnt::fig21_ideal());
+
+  Fig21Result out;
+  for (double w = w_lo; w <= w_hi + 1e-9; w += w_step) {
+    Fig21Point p;
+    p.width = w;
+    p.pf_worst = worst.p_f(w);
+    p.pf_mid = mid.p_f(w);
+    p.pf_ideal = ideal.p_f(w);
+    out.curve.push_back(p);
+  }
+  out.w_at_3e9 = yield::invert_p_f(worst, 3.0e-9, w_lo, 400.0);
+  out.w_at_1p1e6 = yield::invert_p_f(worst, 1.1e-6, w_lo, 400.0);
+  return out;
+}
+
+report::Experiment report_fig2_1(const PaperParams& params) {
+  const auto res = run_fig2_1(params);
+  report::Experiment exp("fig2_1",
+                         "CNFET failure probability vs CNFET width (p_Rm = 1)");
+
+  auto& t = exp.add_table("p_F(W) for the three processing conditions");
+  t.header({"W (nm)", "pm=33% pRs=30%", "pm=33% pRs=0%", "pm=0% pRs=0%"});
+  for (const auto& p : res.curve) {
+    t.begin_row()
+        .num(p.width, 4)
+        .cell(util::format_sig(p.pf_worst, 3))
+        .cell(util::format_sig(p.pf_mid, 3))
+        .cell(util::format_sig(p.pf_ideal, 3));
+  }
+
+  exp.add_comparison({"W at p_F = 3e-9 (worst curve)", "~155 nm",
+                      util::format_sig(res.w_at_3e9, 4) + " nm",
+                      "pitch CV calibrated to 0.9 (EXPERIMENTS.md)"});
+  exp.add_comparison({"W at p_F = 1.1e-6 (worst curve)", "~103 nm",
+                      util::format_sig(res.w_at_1p1e6, 4) + " nm",
+                      "350X-relaxed requirement"});
+  exp.add_comparison(
+      {"ratio p_F(103)/p_F(155)", "~350X",
+       util::format_sig(params.failure_model().p_f(res.w_at_1p1e6) /
+                            params.failure_model().p_f(res.w_at_3e9),
+                        3),
+       "exponential decay of eq. 2.2"});
+  return exp;
+}
+
+}  // namespace cny::experiments

@@ -1,0 +1,32 @@
+// Fig 2.1 — CNFET failure probability p_F vs CNFET width W for three
+// processing conditions (p_Rm = 1), plus the W_min anchor points.
+#pragma once
+
+#include <vector>
+
+#include "experiments/paper_params.h"
+#include "report/experiment.h"
+
+namespace cny::experiments {
+
+struct Fig21Point {
+  double width = 0.0;
+  double pf_worst = 0.0;  ///< p_m = 33 %, p_Rs = 30 %
+  double pf_mid = 0.0;    ///< p_m = 33 %, p_Rs = 0 %
+  double pf_ideal = 0.0;  ///< p_m = 0 %,  p_Rs = 0 %
+};
+
+struct Fig21Result {
+  std::vector<Fig21Point> curve;
+  double w_at_3e9 = 0.0;    ///< W where worst-case p_F = 3e-9 (paper: ~155)
+  double w_at_1p1e6 = 0.0;  ///< W where worst-case p_F = 1.1e-6 (paper: ~103)
+};
+
+[[nodiscard]] Fig21Result run_fig2_1(const PaperParams& params,
+                                     double w_lo = 20.0, double w_hi = 180.0,
+                                     double w_step = 4.0);
+
+/// Renders the result as a report (tables + paper-vs-measured comparisons).
+[[nodiscard]] report::Experiment report_fig2_1(const PaperParams& params);
+
+}  // namespace cny::experiments

@@ -1,0 +1,39 @@
+// Fig 2.2 — (a) transistor width distribution of the OpenRISC-like design
+// on the nangate45_like library; (b) upsizing penalty vs technology node
+// (without correlation). Fig 3.3 adds the with-correlation series.
+#pragma once
+
+#include "experiments/paper_params.h"
+#include "netlist/design.h"
+#include "power/penalty.h"
+#include "report/experiment.h"
+
+namespace cny::experiments {
+
+struct Fig22aResult {
+  std::vector<double> bin_lo;        ///< 80 nm bins
+  std::vector<double> fraction;      ///< share of transistors per bin
+  double frac_below_160 = 0.0;       ///< the paper's M_min share (~33 %)
+  std::uint64_t design_transistors = 0;
+};
+
+[[nodiscard]] Fig22aResult run_fig2_2a(const netlist::Design& design);
+[[nodiscard]] report::Experiment report_fig2_2a();
+
+struct Fig22bResult {
+  power::ScalingStudy without_correlation;  ///< relaxation = 1
+  power::ScalingStudy with_correlation;     ///< relaxation from Table 1
+  double relaxation_used = 1.0;
+};
+
+/// Runs both series (Fig 2.2b = without; Fig 3.3 overlays with).
+/// `relaxation` is the combined correlation benefit (≈350X at 45 nm).
+[[nodiscard]] Fig22bResult run_penalty_scaling(const PaperParams& params,
+                                               const netlist::Design& design,
+                                               double relaxation);
+
+[[nodiscard]] report::Experiment report_fig2_2b(const PaperParams& params);
+[[nodiscard]] report::Experiment report_fig3_3(const PaperParams& params,
+                                               double relaxation);
+
+}  // namespace cny::experiments

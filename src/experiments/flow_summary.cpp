@@ -1,0 +1,43 @@
+#include "experiments/flow_summary.h"
+
+#include "celllib/generator.h"
+#include "netlist/design_generator.h"
+#include "util/strings.h"
+
+namespace cny::experiments {
+
+yield::FlowResult run_flow_summary(const PaperParams& params) {
+  static const celllib::Library lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  const auto model = params.failure_model();
+  yield::FlowParams flow;
+  flow.yield_desired = params.yield_desired;
+  flow.chip_transistors = static_cast<double>(params.chip_transistors);
+  flow.l_cnt = params.l_cnt_nm;
+  flow.fets_per_um = params.fets_per_um;
+  return yield::run_flow(lib, design, model, flow);
+}
+
+report::Experiment report_flow_summary(const PaperParams& params) {
+  const auto res = run_flow_summary(params);
+  report::Experiment exp("flow_summary",
+                         "All layout strategies on the OpenRISC case study");
+  const auto summary = res.summary_table();
+  auto& t = exp.add_table(summary.title());
+  t.header(summary.header_row());
+  for (const auto& row : summary.rows()) t.row(row);
+
+  const auto& unc = res.get(yield::Strategy::Uncorrelated);
+  const auto& one = res.get(yield::Strategy::AlignedOneRow);
+  exp.add_comparison({"W_min drop (uncorrelated -> aligned 1-row)",
+                      "155 -> 103 nm",
+                      util::format_sig(unc.w_min, 4) + " -> " +
+                          util::format_sig(one.w_min, 4) + " nm",
+                      ""});
+  exp.add_comparison({"power penalty at 45 nm after optimisation",
+                      "almost completely eliminated",
+                      util::format_pct(one.power_penalty), ""});
+  return exp;
+}
+
+}  // namespace cny::experiments

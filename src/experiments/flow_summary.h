@@ -1,0 +1,17 @@
+// Strategy-comparison summary — not a single paper artefact but the
+// synthesis of Sec 2 + Sec 3: all four layout strategies on the OpenRISC
+// case study, with the Table 1 relaxations and Fig 3.3 penalties in one
+// place (this is what a user of the methodology actually consults).
+#pragma once
+
+#include "experiments/paper_params.h"
+#include "report/experiment.h"
+#include "yield/flow.h"
+
+namespace cny::experiments {
+
+[[nodiscard]] yield::FlowResult run_flow_summary(const PaperParams& params);
+[[nodiscard]] report::Experiment report_flow_summary(
+    const PaperParams& params);
+
+}  // namespace cny::experiments

@@ -1,0 +1,50 @@
+// Shared parameters for all paper-reproduction experiments, with the
+// calibration choices documented next to their source.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnt/pitch_model.h"
+#include "cnt/process.h"
+#include "device/failure_model.h"
+
+namespace cny::experiments {
+
+struct PaperParams {
+  // --- CNT statistics -------------------------------------------------
+  /// Mean inter-CNT pitch μ_S: the optimised 4 nm of [Deng 07] (Sec 2.1).
+  double pitch_mean_nm = 4.0;
+  /// Pitch CV σ_S/μ_S: the paper keeps the [Zhang 09a] ratio but does not
+  /// print it; 0.9 is calibrated so p_F(155 nm) lands at the paper's
+  /// 3e-9 anchor of Fig 2.1 (see EXPERIMENTS.md §calibration).
+  double pitch_cv = 0.9;
+
+  // --- Processing (Fig 2.1 worst-case condition unless stated) --------
+  double p_metallic = 0.33;
+  double p_remove_m = 1.0;      ///< paper assumes p_Rm ≈ 1
+  double p_remove_s = 0.30;
+
+  // --- Chip-level case study (Sec 2.2) ---------------------------------
+  std::uint64_t chip_transistors = 100'000'000;  ///< M = 100 million
+  double yield_desired = 0.90;
+
+  // --- Correlation (Sec 3.1 / Table 1) ---------------------------------
+  double l_cnt_nm = 200.0e3;      ///< L_CNT = 200 µm [Kang 07, Patil 09b]
+  double fets_per_um = 1.8;       ///< P_min-CNFET measured on the design
+
+  // --- Scaling study (Fig 2.2b / Fig 3.3) ------------------------------
+  std::vector<double> nodes_nm = {45.0, 32.0, 22.0, 16.0};
+
+  [[nodiscard]] cnt::PitchModel pitch() const {
+    return cnt::PitchModel(pitch_mean_nm, pitch_cv);
+  }
+  [[nodiscard]] cnt::ProcessParams process() const {
+    return cnt::ProcessParams{p_metallic, p_remove_m, p_remove_s};
+  }
+  [[nodiscard]] device::FailureModel failure_model() const {
+    return device::FailureModel(pitch(), process());
+  }
+};
+
+}  // namespace cny::experiments

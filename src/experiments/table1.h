@@ -1,0 +1,43 @@
+// Table 1 — per-row failure probability p_RF under three growth/layout
+// combinations: uncorrelated growth; directional growth with the unmodified
+// library; directional growth with aligned-active cells. The middle column
+// is the "general case requiring numerical methods": we evaluate it with the
+// exact Poisson inclusion–exclusion over the library's distinct window
+// offsets and cross-check with the Ross conditional Monte Carlo estimator.
+#pragma once
+
+#include "experiments/paper_params.h"
+#include "netlist/design.h"
+#include "report/experiment.h"
+
+namespace cny::experiments {
+
+struct Table1Result {
+  double w_used = 0.0;            ///< device width evaluated (W_min scale)
+  double p_f_device = 0.0;        ///< per-device p_F at that width
+  double lambda_s = 0.0;          ///< functional-CNT density (per nm)
+  double m_r_min = 0.0;           ///< devices per CNT length (eq. 3.2)
+
+  double p_rf_uncorrelated = 0.0;
+  double p_rf_directional = 0.0;  ///< unmodified library (numerical)
+  double p_rf_dir_mc = 0.0;       ///< conditional-MC cross-check
+  double p_rf_dir_mc_err = 0.0;
+  double p_rf_aligned = 0.0;
+
+  double gain_directional = 0.0;  ///< uncorrelated / directional  (~26.5X)
+  double gain_aligned = 0.0;      ///< directional / aligned       (~13X)
+  double gain_total = 0.0;        ///< uncorrelated / aligned      (~350X)
+};
+
+/// `design` supplies the unmodified library's window-offset diversity.
+/// `w_used` <= 0 picks the width where the uncorrelated p_RF matches the
+/// paper's 5.3e-6 operating point.
+[[nodiscard]] Table1Result run_table1(const PaperParams& params,
+                                      const netlist::Design& design,
+                                      double w_used = 0.0,
+                                      std::size_t mc_samples = 20000,
+                                      std::uint64_t seed = 1);
+
+[[nodiscard]] report::Experiment report_table1(const PaperParams& params);
+
+}  // namespace cny::experiments

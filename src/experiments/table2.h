@@ -1,0 +1,33 @@
+// Table 2 — area penalty of enforcing the aligned-active layout style on
+// standard-cell libraries: the 134-cell nangate45_like library (one aligned
+// row per polarity) and the 775-cell commercial65_like library (one- and
+// two-row variants), plus the resulting W_min for each flow.
+#pragma once
+
+#include "experiments/paper_params.h"
+#include "layout/aligned_active.h"
+#include "report/experiment.h"
+
+namespace cny::experiments {
+
+struct Table2Column {
+  std::string library;
+  int rows_per_polarity = 1;
+  std::size_t n_cells = 0;
+  std::size_t cells_with_penalty = 0;
+  double frac_with_penalty = 0.0;
+  double min_penalty = 0.0;
+  double max_penalty = 0.0;
+  double w_min = 0.0;
+};
+
+struct Table2Result {
+  Table2Column commercial_one;   ///< 65 nm-like, one aligned row
+  Table2Column commercial_two;   ///< 65 nm-like, two aligned rows
+  Table2Column nangate_one;      ///< 45 nm-like, one aligned row
+};
+
+[[nodiscard]] Table2Result run_table2(const PaperParams& params);
+[[nodiscard]] report::Experiment report_table2(const PaperParams& params);
+
+}  // namespace cny::experiments

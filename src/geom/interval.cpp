@@ -1,0 +1,82 @@
+#include "geom/interval.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cny::geom {
+
+Interval Interval::intersect(const Interval& o) const {
+  return {std::max(lo, o.lo), std::min(hi, o.hi)};
+}
+
+Interval Interval::hull(const Interval& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+IntervalSet::IntervalSet(const std::vector<Interval>& intervals) {
+  for (const auto& iv : intervals) add(iv);
+}
+
+void IntervalSet::add(Interval iv) {
+  if (iv.empty()) return;
+  // Find insertion window of overlapping/adjacent components and merge.
+  std::vector<Interval> merged;
+  merged.reserve(parts_.size() + 1);
+  bool inserted = false;
+  for (const auto& p : parts_) {
+    if (p.hi < iv.lo) {
+      merged.push_back(p);
+    } else if (iv.hi < p.lo) {
+      if (!inserted) {
+        merged.push_back(iv);
+        inserted = true;
+      }
+      merged.push_back(p);
+    } else {
+      iv = iv.hull(p);
+    }
+  }
+  if (!inserted) merged.push_back(iv);
+  parts_ = std::move(merged);
+}
+
+double IntervalSet::measure() const {
+  double m = 0.0;
+  for (const auto& p : parts_) m += p.length();
+  return m;
+}
+
+bool IntervalSet::contains(double x) const {
+  const auto it = std::upper_bound(
+      parts_.begin(), parts_.end(), x,
+      [](double v, const Interval& iv) { return v < iv.lo; });
+  if (it == parts_.begin()) return false;
+  return std::prev(it)->contains(x);
+}
+
+double union_measure(std::vector<Interval> intervals) {
+  std::erase_if(intervals, [](const Interval& iv) { return iv.empty(); });
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  double total = 0.0;
+  double cur_lo = intervals.front().lo;
+  double cur_hi = intervals.front().hi;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const auto& iv = intervals[i];
+    if (iv.lo > cur_hi) {
+      total += cur_hi - cur_lo;
+      cur_lo = iv.lo;
+      cur_hi = iv.hi;
+    } else {
+      cur_hi = std::max(cur_hi, iv.hi);
+    }
+  }
+  total += cur_hi - cur_lo;
+  return total;
+}
+
+}  // namespace cny::geom

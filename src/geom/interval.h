@@ -1,0 +1,55 @@
+// 1-D intervals and interval sets. The yield engine lives on intervals:
+// a CNFET's channel is the interval its active region spans in the
+// CNT-perpendicular direction, and union/overlap measure on those intervals
+// drives every correlation computation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cny::geom {
+
+/// Closed-open interval [lo, hi); empty when hi <= lo.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] double length() const { return hi > lo ? hi - lo : 0.0; }
+  [[nodiscard]] bool empty() const { return hi <= lo; }
+  [[nodiscard]] bool contains(double x) const { return x >= lo && x < hi; }
+  [[nodiscard]] bool overlaps(const Interval& o) const {
+    return lo < o.hi && o.lo < hi;
+  }
+  [[nodiscard]] Interval intersect(const Interval& o) const;
+  /// Smallest interval containing both (even if disjoint).
+  [[nodiscard]] Interval hull(const Interval& o) const;
+  [[nodiscard]] Interval shifted(double dy) const { return {lo + dy, hi + dy}; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Maintains a set of disjoint intervals under union; supports total measure
+/// queries. Used for P(∩ empty-window events) = exp(-λ · |∪ windows|).
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(const std::vector<Interval>& intervals);
+
+  void add(Interval iv);
+  void clear() { parts_.clear(); }
+
+  [[nodiscard]] double measure() const;
+  [[nodiscard]] bool contains(double x) const;
+  [[nodiscard]] std::size_t n_components() const { return parts_.size(); }
+  [[nodiscard]] const std::vector<Interval>& components() const {
+    return parts_;
+  }
+
+ private:
+  std::vector<Interval> parts_;  // sorted, disjoint, non-empty
+};
+
+/// Measure of the union of arbitrary intervals (one-shot convenience).
+[[nodiscard]] double union_measure(std::vector<Interval> intervals);
+
+}  // namespace cny::geom

@@ -1,0 +1,25 @@
+#include "geom/rect.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::geom {
+
+Grid1D::Grid1D(double origin, double pitch) : origin_(origin), pitch_(pitch) {
+  CNY_EXPECT(pitch > 0.0);
+}
+
+long Grid1D::index_of(double v) const {
+  return std::lround((v - origin_) / pitch_);
+}
+
+double Grid1D::line(long index) const {
+  return origin_ + pitch_ * static_cast<double>(index);
+}
+
+double Grid1D::snap(double v) const { return line(index_of(v)); }
+
+double Grid1D::offset(double v) const { return v - snap(v); }
+
+}  // namespace cny::geom

@@ -1,0 +1,70 @@
+#include "geom/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace cny::geom {
+
+SvgWriter::SvgWriter(Rect view, double pixel_width) : view_(view) {
+  CNY_EXPECT(!view.empty());
+  CNY_EXPECT(pixel_width > 0.0);
+  scale_ = pixel_width / view.w;
+}
+
+double SvgWriter::sx(double x) const { return (x - view_.x) * scale_; }
+
+double SvgWriter::sy(double y) const {
+  // Flip: user +y (up) maps to SVG -y (down).
+  return (view_.top() - y) * scale_;
+}
+
+void SvgWriter::rect(const Rect& r, const std::string& fill,
+                     const std::string& stroke, double stroke_width,
+                     double opacity) {
+  std::ostringstream os;
+  os << "<rect x=\"" << sx(r.left()) << "\" y=\"" << sy(r.top()) << "\" width=\""
+     << r.w * scale_ << "\" height=\"" << r.h * scale_ << "\" fill=\"" << fill
+     << "\" stroke=\"" << stroke << "\" stroke-width=\"" << stroke_width * scale_
+     << "\" fill-opacity=\"" << opacity << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::line(Point a, Point b, const std::string& stroke,
+                     double width) {
+  std::ostringstream os;
+  os << "<line x1=\"" << sx(a.x) << "\" y1=\"" << sy(a.y) << "\" x2=\""
+     << sx(b.x) << "\" y2=\"" << sy(b.y) << "\" stroke=\"" << stroke
+     << "\" stroke-width=\"" << width * scale_ << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::text(Point at, const std::string& content, double size_user,
+                     const std::string& fill) {
+  std::ostringstream os;
+  os << "<text x=\"" << sx(at.x) << "\" y=\"" << sy(at.y) << "\" font-size=\""
+     << size_user * scale_ << "\" fill=\"" << fill
+     << "\" font-family=\"sans-serif\">" << content << "</text>";
+  elements_.push_back(os.str());
+}
+
+std::string SvgWriter::str() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << view_.w * scale_
+     << "\" height=\"" << view_.h * scale_ << "\" viewBox=\"0 0 "
+     << view_.w * scale_ << ' ' << view_.h * scale_ << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& e : elements_) os << e << '\n';
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool SvgWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str();
+  return static_cast<bool>(out);
+}
+
+}  // namespace cny::geom

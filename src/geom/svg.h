@@ -1,0 +1,41 @@
+// Minimal SVG writer so the example programs can emit Fig 3.1-style growth
+// renders and Fig 3.2-style before/after cell layouts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace cny::geom {
+
+/// Accumulates SVG elements in user coordinates (nm) and renders with a
+/// uniform scale and a flipped y-axis (layout convention: +y up).
+class SvgWriter {
+ public:
+  /// `view` is the user-space region to display; `pixel_width` fixes scale.
+  SvgWriter(Rect view, double pixel_width = 800.0);
+
+  void rect(const Rect& r, const std::string& fill,
+            const std::string& stroke = "none", double stroke_width = 0.0,
+            double opacity = 1.0);
+  void line(Point a, Point b, const std::string& stroke, double width);
+  void text(Point at, const std::string& content, double size_user,
+            const std::string& fill = "#202020");
+
+  /// Serialises the document.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to a file, returning false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] double sx(double x) const;
+  [[nodiscard]] double sy(double y) const;
+
+  Rect view_;
+  double scale_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace cny::geom

@@ -1,0 +1,108 @@
+#include "layout/floorplan.h"
+
+#include <algorithm>
+
+#include "rng/distributions.h"
+#include "util/contracts.h"
+
+namespace cny::layout {
+
+using celllib::Polarity;
+
+double Floorplan::fets_per_um() const {
+  if (n_rows == 0 || row_width <= 0.0) return 0.0;
+  const double total_row_um =
+      static_cast<double>(n_rows) * row_width / 1000.0;
+  return static_cast<double>(windows.size()) / total_row_um;
+}
+
+std::vector<PlacedWindow> Floorplan::row_windows(std::uint32_t row) const {
+  std::vector<PlacedWindow> out;
+  for (const auto& w : windows) {
+    if (w.row == row) out.push_back(w);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlacedWindow& a, const PlacedWindow& b) {
+              return a.x < b.x;
+            });
+  return out;
+}
+
+std::vector<PlacedWindow> Floorplan::segment_windows(std::uint32_t row,
+                                                     double x0,
+                                                     double l_cnt) const {
+  CNY_EXPECT(l_cnt > 0.0);
+  std::vector<PlacedWindow> out;
+  for (const auto& w : row_windows(row)) {
+    if (w.x >= x0 && w.x < x0 + l_cnt) out.push_back(w);
+  }
+  return out;
+}
+
+Floorplan place_design(const netlist::Design& design, double w_min,
+                       const FloorplanParams& params,
+                       rng::Xoshiro256& rng) {
+  CNY_EXPECT(w_min > 0.0);
+  CNY_EXPECT(params.row_width > 0.0);
+  CNY_EXPECT(params.utilization > 0.0 && params.utilization <= 1.0);
+  CNY_EXPECT(params.max_instances >= 1);
+
+  // Expand (or proportionally sample) the instance list.
+  const std::uint64_t total = design.n_instances();
+  CNY_EXPECT_MSG(total > 0, "empty design");
+  const bool sample = total > params.max_instances;
+  std::vector<const celllib::Cell*> placed_cells;
+  placed_cells.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(total, params.max_instances)));
+  if (sample) {
+    std::vector<double> weights;
+    std::vector<const celllib::Cell*> cells;
+    for (const auto& ic : design.instances()) {
+      weights.push_back(static_cast<double>(ic.count));
+      cells.push_back(design.library().find(ic.cell_name));
+    }
+    const rng::DiscreteSampler pick(weights);
+    for (std::uint64_t i = 0; i < params.max_instances; ++i) {
+      placed_cells.push_back(cells[pick(rng)]);
+    }
+  } else {
+    for (const auto& ic : design.instances()) {
+      const auto* cell = design.library().find(ic.cell_name);
+      for (std::uint64_t i = 0; i < ic.count; ++i) {
+        placed_cells.push_back(cell);
+      }
+    }
+    // Fisher–Yates shuffle so rows see the mixed cell population a real
+    // placement produces.
+    for (std::size_t i = placed_cells.size(); i > 1; --i) {
+      std::swap(placed_cells[i - 1],
+                placed_cells[rng.uniform_index(i)]);
+    }
+  }
+
+  Floorplan plan;
+  plan.row_width = params.row_width;
+  const double budget = params.row_width * params.utilization;
+  double cursor = 0.0;
+  std::uint32_t row = 0;
+  for (const auto* cell : placed_cells) {
+    if (cursor + cell->width > budget) {
+      ++row;
+      cursor = 0.0;
+    }
+    for (int r : cell->critical_regions(Polarity::N, w_min)) {
+      const auto& rect = cell->regions[static_cast<std::size_t>(r)].rect;
+      PlacedWindow w;
+      w.row = row;
+      w.x = cursor + rect.x + 0.5 * rect.w;
+      w.y = geom::Interval{rect.y, rect.y + w_min};
+      plan.windows.push_back(w);
+    }
+    cursor += cell->width;
+    plan.placed_width += cell->width;
+  }
+  plan.n_rows = row + 1;
+  return plan;
+}
+
+}  // namespace cny::layout

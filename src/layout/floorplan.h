@@ -1,0 +1,62 @@
+// Chip floorplan substrate: places a design's cell instances into standard-
+// cell rows so that the spatial quantities the correlation analysis needs —
+// P_min-CNFET (critical FETs per µm of row) and per-device (x, y-interval)
+// windows — come out of an actual placement instead of being asserted.
+//
+// The placement is a row-filling shuffle (yield analysis only needs
+// marginal spatial statistics, not timing-driven placement quality).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/interval.h"
+#include "netlist/design.h"
+#include "rng/engine.h"
+
+namespace cny::layout {
+
+struct FloorplanParams {
+  double row_width = 400.0e3;   ///< nm (e.g. 400 µm of cells per row)
+  double utilization = 0.85;    ///< placed width / row width
+  std::uint64_t max_instances = 200000;  ///< cap for huge designs
+};
+
+/// One placed critical device: row index, x position of its gate, and the
+/// y-interval its (upsized) active region spans within the row.
+struct PlacedWindow {
+  std::uint32_t row = 0;
+  double x = 0.0;
+  geom::Interval y;
+};
+
+struct Floorplan {
+  std::vector<PlacedWindow> windows;  ///< all critical devices
+  std::uint32_t n_rows = 0;
+  double row_width = 0.0;
+  double placed_width = 0.0;          ///< total cell width placed
+
+  /// Realised critical-FET density along rows (FETs/µm) — the measured
+  /// P_min-CNFET of this placement.
+  [[nodiscard]] double fets_per_um() const;
+
+  /// Windows of one row (sorted by x).
+  [[nodiscard]] std::vector<PlacedWindow> row_windows(std::uint32_t row) const;
+
+  /// Windows of one row restricted to an x-segment of one CNT length
+  /// starting at `x0` — the sharing group of eq. 3.2.
+  [[nodiscard]] std::vector<PlacedWindow> segment_windows(
+      std::uint32_t row, double x0, double l_cnt) const;
+};
+
+/// Places the design: instances are replicated per their counts (up to
+/// params.max_instances, sampled proportionally beyond), shuffled, and
+/// packed into rows left to right. Critical windows are devices whose width
+/// <= w_min; their y-interval is the containing region's bottom edge plus
+/// w_min (matching the upsizing step).
+[[nodiscard]] Floorplan place_design(const netlist::Design& design,
+                                     double w_min,
+                                     const FloorplanParams& params,
+                                     rng::Xoshiro256& rng);
+
+}  // namespace cny::layout

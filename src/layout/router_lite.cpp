@@ -1,0 +1,63 @@
+#include "layout/router_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::layout {
+
+double estimate_wirelength(const celllib::Cell& cell) {
+  CNY_EXPECT(!cell.regions.empty());
+  double total = 0.0;
+  for (const auto& t : cell.transistors) {
+    const auto& rect = cell.regions[static_cast<std::size_t>(t.region)].rect;
+    const double cx = rect.x + 0.5 * rect.w;
+    const double cy = rect.y + 0.5 * rect.h;
+    // Nearest pin by Manhattan distance; pins live on the cell's bottom
+    // boundary in this model (y = 0).
+    double best = 0.0;
+    bool first = true;
+    for (const auto& pin : cell.pins) {
+      const double d = std::fabs(cx - pin.x) + cy;
+      if (first || d < best) {
+        best = d;
+        first = false;
+      }
+    }
+    if (!first) total += best;
+  }
+  return total;
+}
+
+std::vector<CellRoutingCost> library_routing_costs(
+    const celllib::Library& lib) {
+  std::vector<CellRoutingCost> out;
+  out.reserve(lib.size());
+  for (const auto& cell : lib.cells()) {
+    out.push_back(CellRoutingCost{cell.name, estimate_wirelength(cell)});
+  }
+  return out;
+}
+
+RoutingDelta routing_delta(const celllib::Library& before,
+                           const celllib::Library& after) {
+  CNY_EXPECT(before.size() == after.size());
+  RoutingDelta delta;
+  for (const auto& cell : before.cells()) {
+    const auto* other = after.find(cell.name);
+    CNY_EXPECT_MSG(other != nullptr,
+                   "cell missing from transformed library: " + cell.name);
+    const double wl_before = estimate_wirelength(cell);
+    const double wl_after = estimate_wirelength(*other);
+    delta.before += wl_before;
+    delta.after += wl_after;
+    if (wl_before > 0.0) {
+      delta.worst_cell = std::max(delta.worst_cell,
+                                  (wl_after - wl_before) / wl_before);
+    }
+  }
+  return delta;
+}
+
+}  // namespace cny::layout

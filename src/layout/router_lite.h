@@ -1,0 +1,43 @@
+// Intra-cell routing cost estimator — step 4 of the Sec 3.2 heuristic
+// ("modify the intra-cell routing as necessary") made measurable.
+//
+// We approximate a cell's internal routing as one Manhattan connection per
+// transistor from the centre of its active region to the nearest I/O pin
+// (pins sit on the cell boundary; the transform preserves them, Sec 3.3).
+// The routing delta between the original and the aligned cell estimates how
+// much wiring the alignment perturbs — the cost the paper manages by
+// "retaining the location of the I/O pins as much as possible".
+#pragma once
+
+#include "celllib/cell.h"
+#include "celllib/library.h"
+
+namespace cny::layout {
+
+struct CellRoutingCost {
+  std::string cell;
+  double wirelength = 0.0;  ///< nm of estimated intra-cell Manhattan wiring
+};
+
+/// Estimated intra-cell wirelength of one cell.
+[[nodiscard]] double estimate_wirelength(const celllib::Cell& cell);
+
+/// Per-cell costs for the whole library.
+[[nodiscard]] std::vector<CellRoutingCost> library_routing_costs(
+    const celllib::Library& lib);
+
+struct RoutingDelta {
+  double before = 0.0;      ///< total library wirelength, original
+  double after = 0.0;       ///< total library wirelength, transformed
+  double worst_cell = 0.0;  ///< largest per-cell relative increase
+  [[nodiscard]] double relative() const {
+    return before > 0.0 ? (after - before) / before : 0.0;
+  }
+};
+
+/// Compares routing cost between two versions of the same library (cells
+/// matched by name; both must contain identical cell sets).
+[[nodiscard]] RoutingDelta routing_delta(const celllib::Library& before,
+                                         const celllib::Library& after);
+
+}  // namespace cny::layout

@@ -1,0 +1,106 @@
+#include "netlist/design.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/contracts.h"
+
+namespace cny::netlist {
+
+Design::Design(std::string name, const celllib::Library* library)
+    : name_(std::move(name)), library_(library) {
+  CNY_EXPECT(library != nullptr);
+}
+
+void Design::add_instances(const std::string& cell_name, std::uint64_t count) {
+  CNY_EXPECT_MSG(library_->find(cell_name) != nullptr,
+                 "unknown cell: " + cell_name);
+  if (count == 0) return;
+  for (auto& ic : instances_) {
+    if (ic.cell_name == cell_name) {
+      ic.count += count;
+      return;
+    }
+  }
+  instances_.push_back(InstanceCount{cell_name, count});
+}
+
+std::uint64_t Design::n_instances() const {
+  std::uint64_t n = 0;
+  for (const auto& ic : instances_) n += ic.count;
+  return n;
+}
+
+std::uint64_t Design::n_transistors() const {
+  std::uint64_t n = 0;
+  for (const auto& ic : instances_) {
+    const auto* cell = library_->find(ic.cell_name);
+    n += ic.count * cell->transistors.size();
+  }
+  return n;
+}
+
+double Design::total_width() const {
+  double w = 0.0;
+  for (const auto& ic : instances_) {
+    const auto* cell = library_->find(ic.cell_name);
+    double cw = 0.0;
+    for (const auto& t : cell->transistors) cw += t.width;
+    w += cw * static_cast<double>(ic.count);
+  }
+  return w;
+}
+
+std::uint64_t Design::count_transistors_below(double threshold) const {
+  std::uint64_t n = 0;
+  for (const auto& ic : instances_) {
+    const auto* cell = library_->find(ic.cell_name);
+    std::uint64_t per_cell = 0;
+    for (const auto& t : cell->transistors) {
+      if (t.width <= threshold) ++per_cell;
+    }
+    n += per_cell * ic.count;
+  }
+  return n;
+}
+
+double Design::total_width_upsized(double w_min) const {
+  double w = 0.0;
+  for (const auto& ic : instances_) {
+    const auto* cell = library_->find(ic.cell_name);
+    double cw = 0.0;
+    for (const auto& t : cell->transistors) cw += std::max(t.width, w_min);
+    w += cw * static_cast<double>(ic.count);
+  }
+  return w;
+}
+
+stats::Histogram Design::width_histogram(double bin_nm, double max_nm) const {
+  CNY_EXPECT(bin_nm > 0.0 && max_nm > bin_nm);
+  stats::Histogram h(0.0, max_nm, static_cast<std::size_t>(max_nm / bin_nm));
+  for (const auto& ic : instances_) {
+    const auto* cell = library_->find(ic.cell_name);
+    for (const auto& t : cell->transistors) {
+      h.add(t.width, static_cast<double>(ic.count));
+    }
+  }
+  return h;
+}
+
+std::vector<std::pair<double, std::uint64_t>> Design::width_spectrum() const {
+  std::map<double, std::uint64_t> acc;
+  for (const auto& ic : instances_) {
+    const auto* cell = library_->find(ic.cell_name);
+    for (const auto& t : cell->transistors) acc[t.width] += ic.count;
+  }
+  return {acc.begin(), acc.end()};
+}
+
+Design Design::retarget(const celllib::Library* other) const {
+  CNY_EXPECT(other != nullptr);
+  Design out(name_, other);
+  for (const auto& ic : instances_) out.add_instances(ic.cell_name, ic.count);
+  return out;
+}
+
+}  // namespace cny::netlist

@@ -1,0 +1,72 @@
+// Gate-level design model: a multiset of cell instances over a library.
+//
+// The paper's circuit-level analysis consumes only aggregate design data —
+// the transistor width distribution {W_i} (Fig 2.2a), the total transistor
+// count M, and the spatial density of small-width CNFETs along rows — so the
+// design model stores instance counts per cell rather than a full netlist
+// graph (hookup is irrelevant to CNT-count yield).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "celllib/library.h"
+#include "stats/histogram.h"
+
+namespace cny::netlist {
+
+struct InstanceCount {
+  std::string cell_name;
+  std::uint64_t count = 0;
+};
+
+class Design {
+ public:
+  Design(std::string name, const celllib::Library* library);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const celllib::Library& library() const { return *library_; }
+  [[nodiscard]] const std::vector<InstanceCount>& instances() const {
+    return instances_;
+  }
+
+  /// Adds `count` instances of `cell_name` (must exist in the library).
+  void add_instances(const std::string& cell_name, std::uint64_t count);
+
+  /// Total cell instances.
+  [[nodiscard]] std::uint64_t n_instances() const;
+
+  /// Total transistors M.
+  [[nodiscard]] std::uint64_t n_transistors() const;
+
+  /// Sum of all transistor widths (the gate-capacitance proxy of Sec 2.2).
+  [[nodiscard]] double total_width() const;
+
+  /// Number of transistors with width <= threshold.
+  [[nodiscard]] std::uint64_t count_transistors_below(double threshold) const;
+
+  /// Sum over transistors of max(W_i, w_min) — the upsized total width.
+  [[nodiscard]] double total_width_upsized(double w_min) const;
+
+  /// Per-width histogram of all transistors (Fig 2.2a), weighted by
+  /// instance counts. Bins of `bin_nm` covering [0, max_nm).
+  [[nodiscard]] stats::Histogram width_histogram(double bin_nm,
+                                                 double max_nm) const;
+
+  /// Distinct (width, multiplicity) pairs sorted by width — the compact
+  /// form every yield computation iterates over.
+  [[nodiscard]] std::vector<std::pair<double, std::uint64_t>> width_spectrum()
+      const;
+
+  /// Returns a copy of this design re-pointed at another library that
+  /// contains the same cell names (e.g. a scaled or transformed library).
+  [[nodiscard]] Design retarget(const celllib::Library* other) const;
+
+ private:
+  std::string name_;
+  const celllib::Library* library_;
+  std::vector<InstanceCount> instances_;
+};
+
+}  // namespace cny::netlist

@@ -1,0 +1,95 @@
+#include "netlist/design_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace cny::netlist {
+
+namespace {
+
+enum class Bucket { InvBuf, NandNor, Complex, Arith, Seq };
+
+Bucket bucket_of(const celllib::Cell& c) {
+  using celllib::CellKind;
+  if (c.kind == CellKind::Sequential) return Bucket::Seq;
+  if (c.kind == CellKind::Buffer) return Bucket::InvBuf;
+  const std::string& f = c.family;
+  const auto has = [&](const char* prefix) {
+    return f.rfind(prefix, 0) == 0;
+  };
+  if (has("NAND") || has("NOR") || has("AND") || has("OR")) {
+    return Bucket::NandNor;
+  }
+  if (has("FA") || has("HA") || has("DEC")) return Bucket::Arith;
+  return Bucket::Complex;
+}
+
+}  // namespace
+
+Design generate_design(const std::string& name, const celllib::Library& lib,
+                       std::uint64_t n_instances, const MixParams& mix) {
+  CNY_EXPECT(n_instances > 0);
+  const double frac_sum = mix.frac_invbuf + mix.frac_nand_nor +
+                          mix.frac_complex + mix.frac_arith + mix.frac_seq;
+  CNY_EXPECT_MSG(std::fabs(frac_sum - 1.0) < 1e-9,
+                 "mix fractions must sum to 1");
+
+  // Group cells by bucket/family; weight within a family by drive decay.
+  struct Entry {
+    const celllib::Cell* cell;
+    double weight;
+  };
+  std::map<Bucket, std::vector<Entry>> groups;
+  for (const auto& c : lib.cells()) {
+    // Drive rank within its family (1st, 2nd, ... available drive).
+    int rank = 0;
+    for (const auto& other : lib.cells()) {
+      if (other.family == c.family && other.drive < c.drive) ++rank;
+    }
+    double w = std::pow(mix.drive_decay, rank);
+    const Bucket b = bucket_of(c);
+    if (b == Bucket::InvBuf && c.drive >= 8) {
+      // Big buffers get a dedicated share (clock trees / fan-out repair)
+      // instead of the exponential decay that would zero them out.
+      w = mix.frac_big_buffers;
+    }
+    groups[b].push_back(Entry{&c, w});
+  }
+
+  const std::map<Bucket, double> bucket_frac = {
+      {Bucket::InvBuf, mix.frac_invbuf},
+      {Bucket::NandNor, mix.frac_nand_nor},
+      {Bucket::Complex, mix.frac_complex},
+      {Bucket::Arith, mix.frac_arith},
+      {Bucket::Seq, mix.frac_seq},
+  };
+
+  Design design(name, &lib);
+  for (const auto& [bucket, entries] : groups) {
+    const auto it = bucket_frac.find(bucket);
+    const double share = it->second;
+    if (share <= 0.0 || entries.empty()) continue;
+    double total_w = 0.0;
+    for (const auto& e : entries) total_w += e.weight;
+    CNY_ENSURE(total_w > 0.0);
+    for (const auto& e : entries) {
+      const double frac = share * e.weight / total_w;
+      const auto count = static_cast<std::uint64_t>(
+          std::llround(frac * static_cast<double>(n_instances)));
+      if (count > 0) design.add_instances(e.cell->name, count);
+    }
+  }
+  CNY_ENSURE(design.n_instances() > 0);
+  return design;
+}
+
+Design make_openrisc_like(const celllib::Library& lib) {
+  // ~50k cell instances: the scale of an OpenRISC core without caches.
+  return generate_design("openrisc_like", lib, 50000, MixParams{});
+}
+
+}  // namespace cny::netlist

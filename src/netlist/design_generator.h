@@ -1,0 +1,47 @@
+// Synthetic design generation: produces an OpenRISC-class cell-instance mix
+// over a library, standing in for "OpenRISC synthesized with Design
+// Compiler" (substitution table, DESIGN.md).
+//
+// The mix model follows the well-known composition of synthesized control-
+// dominated RTL: inverters/buffers ~20 %, 2-input NAND/NOR ~35 %, wider and
+// complex gates ~25 %, arithmetic ~5 %, flip-flops ~15 %, with drive
+// strengths heavily skewed to X1/X2. The knobs are calibrated so the
+// resulting transistor width histogram reproduces Fig 2.2a (the two
+// left-most 80 nm bins hold ~33 % of transistors — the paper's M_min).
+#pragma once
+
+#include <cstdint>
+
+#include "celllib/library.h"
+#include "netlist/design.h"
+
+namespace cny::netlist {
+
+struct MixParams {
+  // Calibrated so the nangate45_like width histogram reproduces Fig 2.2a:
+  // the two left-most 80 nm bins hold ~33 % of all transistors.
+  double frac_invbuf = 0.20;    ///< INV/BUF/CLKBUF share of instances
+  double frac_nand_nor = 0.44;  ///< 2-4 input NAND/NOR/AND/OR
+  double frac_complex = 0.21;   ///< AOI/OAI/AO/OA/XOR/MUX
+  double frac_arith = 0.05;     ///< FA/HA and friends
+  double frac_seq = 0.10;       ///< flip-flops, latches, clock gates
+  /// Relative weight of a family's k-th available drive: drive_decay^k.
+  double drive_decay = 0.65;
+  /// Fraction of buffer instances forced to the largest drives (clock trees
+  /// and high-fan-out nets) — populates the histogram's wide tail.
+  double frac_big_buffers = 0.06;
+};
+
+/// Deterministically expands the mix into instance counts over `lib`.
+/// `n_instances` is the target cell count (exact up to rounding).
+[[nodiscard]] Design generate_design(const std::string& name,
+                                     const celllib::Library& lib,
+                                     std::uint64_t n_instances,
+                                     const MixParams& mix = {});
+
+/// The paper's case study: an OpenRISC-core-like design (cache excluded)
+/// sized so that the M = 100e6-transistor chip-scale analysis of Sec 2.2 can
+/// scale it up (the width *distribution* is what matters).
+[[nodiscard]] Design make_openrisc_like(const celllib::Library& lib);
+
+}  // namespace cny::netlist

@@ -1,0 +1,107 @@
+#include "netlist/design_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace cny::netlist {
+
+using cny::util::parse_long;
+using cny::util::split_ws;
+
+void write_design(const Design& design, std::ostream& os) {
+  os << "design \"" << design.name() << "\" library \""
+     << design.library().name() << "\"\n";
+  for (const auto& ic : design.instances()) {
+    os << "instance " << ic.cell_name << ' ' << ic.count << "\n";
+  }
+  os << "enddesign\n";
+}
+
+std::string to_design_text(const Design& design) {
+  std::ostringstream os;
+  write_design(design, os);
+  return os.str();
+}
+
+namespace {
+
+std::string unquote(std::string s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+}  // namespace
+
+Design read_design(std::istream& is, const celllib::Library& lib) {
+  std::string line;
+  int line_no = 0;
+  bool have_header = false;
+  Design design("", &lib);
+
+  const auto fail = [&](const std::string& msg) {
+    CNY_EXPECT_MSG(false,
+                   "design line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = split_ws(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& kw = tokens[0];
+    if (kw == "design") {
+      if (have_header) fail("duplicate design header");
+      if (tokens.size() != 4 || tokens[2] != "library") {
+        fail("bad design header");
+      }
+      const std::string lib_name = unquote(tokens[3]);
+      if (lib_name != lib.name()) {
+        fail("design targets library '" + lib_name + "' but '" + lib.name() +
+             "' was supplied");
+      }
+      design = Design(unquote(tokens[1]), &lib);
+      have_header = true;
+    } else if (kw == "instance") {
+      if (!have_header) fail("instance before design header");
+      if (tokens.size() != 3) fail("bad instance line");
+      const long count = parse_long(tokens[2]);
+      if (count < 0) fail("negative instance count");
+      if (lib.find(tokens[1]) == nullptr) {
+        fail("unknown cell: " + tokens[1]);
+      }
+      design.add_instances(tokens[1], static_cast<std::uint64_t>(count));
+    } else if (kw == "enddesign") {
+      if (!have_header) fail("enddesign before design header");
+      return design;
+    } else {
+      fail("unknown keyword: " + kw);
+    }
+  }
+  fail("missing enddesign");
+  return design;  // unreachable
+}
+
+Design from_design_text(const std::string& text, const celllib::Library& lib) {
+  std::istringstream is(text);
+  return read_design(is, lib);
+}
+
+void save_design(const Design& design, const std::string& path) {
+  std::ofstream os(path);
+  CNY_EXPECT_MSG(static_cast<bool>(os), "cannot open for write: " + path);
+  write_design(design, os);
+  CNY_EXPECT_MSG(static_cast<bool>(os), "write failed: " + path);
+}
+
+Design load_design(const std::string& path, const celllib::Library& lib) {
+  std::ifstream is(path);
+  CNY_EXPECT_MSG(static_cast<bool>(is), "cannot open for read: " + path);
+  return read_design(is, lib);
+}
+
+}  // namespace cny::netlist

@@ -1,0 +1,33 @@
+// Design save/load: a line-oriented text format for instance-count designs,
+// the netlist companion to celllib's liberty-lite.
+//
+//   design "openrisc_like" library "nangate45_like"
+//   instance INV_X1 6480
+//   instance NAND2_X1 10007
+//   ...
+//   enddesign
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.h"
+
+namespace cny::netlist {
+
+void write_design(const Design& design, std::ostream& os);
+[[nodiscard]] std::string to_design_text(const Design& design);
+
+/// Parses a design against `lib` (the file's library name must match
+/// lib.name(); every instance cell must exist). Throws ContractViolation
+/// with a line number on malformed input.
+[[nodiscard]] Design read_design(std::istream& is,
+                                 const celllib::Library& lib);
+[[nodiscard]] Design from_design_text(const std::string& text,
+                                      const celllib::Library& lib);
+
+void save_design(const Design& design, const std::string& path);
+[[nodiscard]] Design load_design(const std::string& path,
+                                 const celllib::Library& lib);
+
+}  // namespace cny::netlist

@@ -1,0 +1,82 @@
+#include "numeric/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::numeric {
+
+MonotoneCubic::MonotoneCubic(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  CNY_EXPECT(x_.size() == y_.size());
+  CNY_EXPECT(x_.size() >= 2);
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    CNY_EXPECT_MSG(x_[i] > x_[i - 1], "knots must be strictly increasing");
+  }
+
+  const std::size_t n = x_.size();
+  std::vector<double> delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    delta[i] = (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+  }
+  m_.assign(n, 0.0);
+  m_[0] = delta[0];
+  m_[n - 1] = delta[n - 2];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    m_[i] = (delta[i - 1] * delta[i] <= 0.0) ? 0.0
+                                             : 0.5 * (delta[i - 1] + delta[i]);
+  }
+  // Fritsch–Carlson monotonicity filter.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (delta[i] == 0.0) {
+      m_[i] = 0.0;
+      m_[i + 1] = 0.0;
+      continue;
+    }
+    const double a = m_[i] / delta[i];
+    const double b = m_[i + 1] / delta[i];
+    const double s = a * a + b * b;
+    if (s > 9.0) {
+      const double tau = 3.0 / std::sqrt(s);
+      m_[i] = tau * a * delta[i];
+      m_[i + 1] = tau * b * delta[i];
+    }
+  }
+}
+
+std::size_t MonotoneCubic::segment(double x) const {
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t idx = static_cast<std::size_t>(it - x_.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, x_.size() - 2);
+}
+
+double MonotoneCubic::operator()(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const std::size_t i = segment(x);
+  const double h = x_[i + 1] - x_[i];
+  const double t = (x - x_[i]) / h;
+  const double t2 = t * t, t3 = t2 * t;
+  const double h00 = 2 * t3 - 3 * t2 + 1;
+  const double h10 = t3 - 2 * t2 + t;
+  const double h01 = -2 * t3 + 3 * t2;
+  const double h11 = t3 - t2;
+  return h00 * y_[i] + h10 * h * m_[i] + h01 * y_[i + 1] + h11 * h * m_[i + 1];
+}
+
+double MonotoneCubic::derivative(double x) const {
+  if (x <= x_.front() || x >= x_.back()) return 0.0;
+  const std::size_t i = segment(x);
+  const double h = x_[i + 1] - x_[i];
+  const double t = (x - x_[i]) / h;
+  const double t2 = t * t;
+  const double dh00 = (6 * t2 - 6 * t) / h;
+  const double dh10 = 3 * t2 - 4 * t + 1;
+  const double dh01 = (-6 * t2 + 6 * t) / h;
+  const double dh11 = 3 * t2 - 2 * t;
+  return dh00 * y_[i] + dh10 * m_[i] + dh01 * y_[i + 1] + dh11 * m_[i + 1];
+}
+
+}  // namespace cny::numeric

@@ -1,0 +1,33 @@
+// Monotone piecewise-cubic (Fritsch–Carlson) interpolation, used to cache
+// expensive pF(W) evaluations along a sweep and to read intersections off
+// digitised curves (the "draw a horizontal line on Fig 2.1" procedure).
+#pragma once
+
+#include <vector>
+
+namespace cny::numeric {
+
+/// Monotone cubic Hermite interpolant through (x_i, y_i), x strictly
+/// increasing. If the data are monotone, the interpolant is too (no
+/// overshoot) — important when inverting pF(W) curves.
+class MonotoneCubic {
+ public:
+  MonotoneCubic(std::vector<double> x, std::vector<double> y);
+
+  /// Evaluates the interpolant; clamps outside [x_front, x_back].
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Derivative of the interpolant (clamped endpoints give 0 outside).
+  [[nodiscard]] double derivative(double x) const;
+
+  [[nodiscard]] double x_min() const { return x_.front(); }
+  [[nodiscard]] double x_max() const { return x_.back(); }
+  [[nodiscard]] std::size_t size() const { return x_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t segment(double x) const;
+
+  std::vector<double> x_, y_, m_;  // knots, values, tangents
+};
+
+}  // namespace cny::numeric

@@ -1,0 +1,28 @@
+// Scalar root finding and monotone inversion (used by the W_min solver).
+#pragma once
+
+#include <functional>
+
+namespace cny::numeric {
+
+struct RootResult {
+  double x = 0.0;        ///< located root
+  double fx = 0.0;       ///< residual f(x)
+  int iterations = 0;    ///< iterations consumed
+  bool converged = false;
+};
+
+/// Brent's method on [lo, hi]; requires f(lo) and f(hi) to bracket a root
+/// (opposite signs, or either endpoint already within tol of zero).
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f,
+                               double lo, double hi, double x_tol = 1e-10,
+                               int max_iter = 200);
+
+/// Inverts a *decreasing* function: finds x in [lo, hi] with f(x) = target.
+/// Expands understanding of callers like pF(W) which fall monotonically.
+/// Requires f(lo) >= target >= f(hi).
+[[nodiscard]] RootResult invert_decreasing(
+    const std::function<double(double)>& f, double target, double lo,
+    double hi, double x_tol = 1e-9);
+
+}  // namespace cny::numeric

@@ -1,0 +1,46 @@
+#include "power/penalty.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cny::power {
+
+double upsizing_penalty(const yield::WidthSpectrum& spectrum, double w_min) {
+  CNY_EXPECT(!spectrum.empty());
+  CNY_EXPECT(w_min >= 0.0);
+  double base = 0.0;
+  double upsized = 0.0;
+  for (const auto& [w, n] : spectrum) {
+    CNY_EXPECT(w > 0.0);
+    const double count = static_cast<double>(n);
+    base += w * count;
+    upsized += std::max(w, w_min) * count;
+  }
+  CNY_ENSURE(base > 0.0);
+  return (upsized - base) / base;
+}
+
+ScalingStudy scaling_study(const yield::WidthSpectrum& spectrum_45,
+                           const device::FailureModel& model,
+                           const yield::WminRequest& request,
+                           const std::vector<double>& nodes_nm) {
+  CNY_EXPECT(!nodes_nm.empty());
+  ScalingStudy study;
+  for (double node : nodes_nm) {
+    CNY_EXPECT(node > 0.0);
+    const auto spectrum =
+        yield::scale_spectrum(spectrum_45, node / 45.0, 1.0);
+    const auto solved = yield::solve_w_min(spectrum, model, request);
+    NodeResult r;
+    r.node_nm = node;
+    r.w_min = solved.w_min;
+    r.m_min = solved.m_min;
+    r.p_f_target = solved.p_f_target;
+    r.penalty = upsizing_penalty(spectrum, solved.w_min);
+    study.nodes.push_back(r);
+  }
+  return study;
+}
+
+}  // namespace cny::power

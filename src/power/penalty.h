@@ -1,0 +1,49 @@
+// Upsizing power penalty and technology-scaling study (Sec 2.2, Fig 2.2b,
+// Fig 3.3).
+//
+// Power (static and dynamic) is roughly proportional to total transistor
+// width, so the paper measures the upsizing cost as the percentage increase
+// of total gate capacitance:
+//
+//   penalty(W_min) = [ Σ max(W_i, W_min) - Σ W_i ] / Σ W_i.
+//
+// The scaling analysis shrinks the width distribution linearly with the
+// technology node while the inter-CNT pitch stays at 4 nm, then re-solves
+// W_min per node (the p_F(W) curve is node-independent, but M_min changes
+// with the scaled distribution).
+#pragma once
+
+#include <vector>
+
+#include "device/failure_model.h"
+#include "yield/circuit_yield.h"
+#include "yield/wmin_solver.h"
+
+namespace cny::power {
+
+/// Gate-capacitance penalty of upsizing `spectrum` to `w_min` (fraction).
+[[nodiscard]] double upsizing_penalty(const yield::WidthSpectrum& spectrum,
+                                      double w_min);
+
+struct NodeResult {
+  double node_nm = 0.0;
+  double w_min = 0.0;          ///< solved threshold width at this node (nm)
+  double penalty = 0.0;        ///< capacitance penalty (fraction)
+  std::uint64_t m_min = 0;     ///< devices at/below threshold
+  double p_f_target = 0.0;
+};
+
+struct ScalingStudy {
+  std::vector<NodeResult> nodes;
+};
+
+/// Runs the Fig 2.2b / Fig 3.3 study: for each node in `nodes_nm`, scale the
+/// 45 nm-referenced spectrum by node/45, solve W_min under `request`
+/// (relaxation = 1 for "without correlation", ~350 for the optimised flow),
+/// and compute the penalty.
+[[nodiscard]] ScalingStudy scaling_study(const yield::WidthSpectrum& spectrum_45,
+                                         const device::FailureModel& model,
+                                         const yield::WminRequest& request,
+                                         const std::vector<double>& nodes_nm);
+
+}  // namespace cny::power

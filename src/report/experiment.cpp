@@ -1,0 +1,67 @@
+#include "report/experiment.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace cny::report {
+
+Experiment::Experiment(std::string id, std::string title)
+    : id_(std::move(id)), title_(std::move(title)) {
+  CNY_EXPECT(!id_.empty());
+}
+
+util::Table& Experiment::add_table(std::string title) {
+  tables_.emplace_back(std::move(title));
+  return tables_.back();
+}
+
+void Experiment::add_comparison(Comparison c) {
+  comparisons_.push_back(std::move(c));
+}
+
+std::string Experiment::render_text() const {
+  std::ostringstream os;
+  os << "=== " << id_ << ": " << title_ << " ===\n\n";
+  for (const auto& t : tables_) os << t.to_text() << '\n';
+  if (!comparisons_.empty()) {
+    util::Table cmp("Paper vs measured");
+    cmp.header({"quantity", "paper", "measured", "note"});
+    for (const auto& c : comparisons_) {
+      cmp.row({c.quantity, c.paper, c.measured, c.note});
+    }
+    os << cmp.to_text() << '\n';
+  }
+  return os.str();
+}
+
+std::string Experiment::render_markdown() const {
+  std::ostringstream os;
+  os << "## " << id_ << ": " << title_ << "\n\n";
+  for (const auto& t : tables_) os << t.to_markdown() << '\n';
+  if (!comparisons_.empty()) {
+    util::Table cmp;
+    cmp.header({"quantity", "paper", "measured", "note"});
+    for (const auto& c : comparisons_) {
+      cmp.row({c.quantity, c.paper, c.measured, c.note});
+    }
+    os << "**Paper vs measured**\n\n" << cmp.to_markdown() << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::string> Experiment::write_csv(const std::string& dir) const {
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const std::string path =
+        dir + "/" + id_ + "_" + std::to_string(i) + ".csv";
+    std::ofstream out(path);
+    CNY_EXPECT_MSG(static_cast<bool>(out), "cannot write " + path);
+    out << tables_[i].to_csv();
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace cny::report

@@ -1,0 +1,55 @@
+// Experiment reporting: uniform structure for "reproduce one paper artefact"
+// drivers. Each experiment renders one or more tables, records paper-vs-
+// measured comparison lines, and can dump CSV next to the binary for
+// plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace cny::report {
+
+struct Comparison {
+  std::string quantity;   ///< e.g. "W_min at 45 nm (nm)"
+  std::string paper;      ///< value the paper reports
+  std::string measured;   ///< value this reproduction measures
+  std::string note;       ///< calibration / deviation commentary
+};
+
+class Experiment {
+ public:
+  /// `id` like "fig2_1" / "table1"; `title` as the paper captions it.
+  Experiment(std::string id, std::string title);
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+  util::Table& add_table(std::string title);
+  void add_comparison(Comparison c);
+
+  [[nodiscard]] const std::vector<util::Table>& tables() const {
+    return tables_;
+  }
+  [[nodiscard]] const std::vector<Comparison>& comparisons() const {
+    return comparisons_;
+  }
+
+  /// Full plain-text rendering (tables + paper-vs-measured block).
+  [[nodiscard]] std::string render_text() const;
+
+  /// Markdown rendering, used to assemble EXPERIMENTS.md.
+  [[nodiscard]] std::string render_markdown() const;
+
+  /// Writes each table as `<dir>/<id>_<index>.csv`; returns the paths.
+  std::vector<std::string> write_csv(const std::string& dir) const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::vector<util::Table> tables_;
+  std::vector<Comparison> comparisons_;
+};
+
+}  // namespace cny::report

@@ -1,0 +1,59 @@
+// Samplers for the distributions used by the CNT process models.
+//
+// All samplers are free functions on Xoshiro256 so that every random variate
+// consumed by a simulation is attributable to one explicit engine (no hidden
+// global state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/engine.h"
+
+namespace cny::rng {
+
+/// Standard normal via the Marsaglia polar method.
+[[nodiscard]] double sample_normal(Xoshiro256& rng);
+
+/// Normal with mean mu and standard deviation sigma (sigma >= 0).
+[[nodiscard]] double sample_normal(Xoshiro256& rng, double mu, double sigma);
+
+/// Exponential with mean `mean` (> 0).
+[[nodiscard]] double sample_exponential(Xoshiro256& rng, double mean);
+
+/// Gamma(shape k > 0, scale theta > 0), Marsaglia–Tsang squeeze method with
+/// the k < 1 boosting trick.
+[[nodiscard]] double sample_gamma(Xoshiro256& rng, double k, double theta);
+
+/// Lognormal with *linear-domain* mean and standard deviation.
+[[nodiscard]] double sample_lognormal_mean_sd(Xoshiro256& rng, double mean,
+                                              double sd);
+
+/// Bernoulli(p).
+[[nodiscard]] bool sample_bernoulli(Xoshiro256& rng, double p);
+
+/// Poisson(lambda >= 0): inversion for small lambda, recursive halving
+/// (Poisson additivity) above — exact for all lambda.
+[[nodiscard]] long sample_poisson(Xoshiro256& rng, double lambda);
+
+/// Binomial(n, p) by explicit Bernoulli summation for small n and a
+/// Poisson/normal-free inversion elsewhere (exact).
+[[nodiscard]] long sample_binomial(Xoshiro256& rng, long n, double p);
+
+/// Walker alias table for O(1) sampling from a fixed discrete distribution.
+class DiscreteSampler {
+ public:
+  /// Weights must be non-negative with a positive sum; they are normalised.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t operator()(Xoshiro256& rng) const;
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> norm_;        // normalised input weights
+};
+
+}  // namespace cny::rng

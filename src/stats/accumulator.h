@@ -1,0 +1,50 @@
+// Streaming statistics: Welford moments, min/max, and standard-error /
+// confidence-interval helpers used to qualify every Monte Carlo estimate.
+#pragma once
+
+#include <cstddef>
+
+namespace cny::stats {
+
+/// Numerically stable streaming mean/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; 0 for n < 2.
+  [[nodiscard]] double std_error() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval for a mean, mean ± z * stderr.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+  [[nodiscard]] double width() const { return hi - lo; }
+};
+
+/// Normal-approximation CI on the accumulator's mean (z = 1.96 for 95 %).
+[[nodiscard]] Interval mean_ci(const Accumulator& acc, double z = 1.96);
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials` (robust at the p ≈ 0 extremes where the yield probabilities live).
+[[nodiscard]] Interval wilson_ci(std::size_t successes, std::size_t trials,
+                                 double z = 1.96);
+
+}  // namespace cny::stats

@@ -1,0 +1,52 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::stats {
+
+Interval bootstrap_ci(
+    const std::vector<double>& data,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    cny::rng::Xoshiro256& rng, std::size_t resamples, double level) {
+  CNY_EXPECT(!data.empty());
+  CNY_EXPECT(resamples >= 10);
+  CNY_EXPECT(level > 0.0 && level < 1.0);
+
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> resample(data.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample) {
+      v = data[rng.uniform_index(data.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = 0.5 * (1.0 - level);
+  const auto pick = [&](double q) {
+    const double pos = q * static_cast<double>(stats.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = std::min(lo + 1, stats.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return stats[lo] * (1.0 - frac) + stats[hi] * frac;
+  };
+  return {pick(alpha), pick(1.0 - alpha)};
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& data,
+                           cny::rng::Xoshiro256& rng, std::size_t resamples,
+                           double level) {
+  return bootstrap_ci(
+      data,
+      [](const std::vector<double>& v) {
+        double s = 0.0;
+        for (double x : v) s += x;
+        return s / static_cast<double>(v.size());
+      },
+      rng, resamples, level);
+}
+
+}  // namespace cny::stats

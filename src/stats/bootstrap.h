@@ -1,0 +1,27 @@
+// Non-parametric bootstrap confidence intervals for derived statistics
+// (e.g. ratio-of-probabilities estimates in the Table 1 reproduction).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rng/engine.h"
+#include "stats/accumulator.h"
+
+namespace cny::stats {
+
+/// Percentile-bootstrap CI of `statistic` evaluated on resamples of `data`.
+/// `level` is two-sided (e.g. 0.95).
+[[nodiscard]] Interval bootstrap_ci(
+    const std::vector<double>& data,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    cny::rng::Xoshiro256& rng, std::size_t resamples = 1000,
+    double level = 0.95);
+
+/// Convenience: bootstrap CI of the sample mean.
+[[nodiscard]] Interval bootstrap_mean_ci(const std::vector<double>& data,
+                                         cny::rng::Xoshiro256& rng,
+                                         std::size_t resamples = 1000,
+                                         double level = 0.95);
+
+}  // namespace cny::stats

@@ -1,0 +1,96 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace cny::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  CNY_EXPECT(hi > lo);
+  CNY_EXPECT(bins >= 1);
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double x, double weight) {
+  CNY_EXPECT(weight >= 0.0);
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  counts_[std::min(idx, counts_.size() - 1)] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  CNY_EXPECT(i < counts_.size());
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + bin_width_; }
+
+double Histogram::bin_centre(std::size_t i) const {
+  return bin_lo(i) + 0.5 * bin_width_;
+}
+
+double Histogram::count(std::size_t i) const {
+  CNY_EXPECT(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::fraction(std::size_t i) const {
+  CNY_EXPECT(i < counts_.size());
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+double Histogram::cumulative_fraction(std::size_t i) const {
+  CNY_EXPECT(i < counts_.size());
+  double acc = underflow_;
+  for (std::size_t b = 0; b <= i; ++b) acc += counts_[b];
+  return total_ > 0.0 ? acc / total_ : 0.0;
+}
+
+std::string Histogram::to_ascii(std::size_t max_width) const {
+  CNY_EXPECT(max_width >= 1);
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof label, "[%8.1f, %8.1f)", bin_lo(i), bin_hi(i));
+    const std::size_t bar =
+        peak > 0.0 ? static_cast<std::size_t>(
+                         std::lround(counts_[i] / peak *
+                                     static_cast<double>(max_width)))
+                   : 0;
+    os << label << ' ' << std::string(bar, '#') << ' '
+       << counts_[i] << " (" << fraction(i) * 100.0 << "%)\n";
+  }
+  return os.str();
+}
+
+double ks_distance(std::vector<double> sample,
+                   const std::function<double(double)>& cdf) {
+  CNY_EXPECT(!sample.empty());
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double f = cdf(sample[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lo), std::fabs(hi - f)));
+  }
+  return d;
+}
+
+}  // namespace cny::stats

@@ -1,0 +1,49 @@
+// Fixed-bin histogram — used for the transistor width distribution of
+// Fig 2.2a and for validating sampled CNT statistics against analytic models.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cny::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins covering [lo, hi) with `bins` buckets; samples outside the
+  /// range are counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t n_bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_centre(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const;
+  /// Fraction of total weight (including under/overflow) in bin i.
+  [[nodiscard]] double fraction(std::size_t i) const;
+  /// Fraction of total weight at or below the upper edge of bin i.
+  [[nodiscard]] double cumulative_fraction(std::size_t i) const;
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] double overflow() const { return overflow_; }
+  [[nodiscard]] double total_weight() const { return total_; }
+
+  /// Simple ASCII bar rendering (for example programs).
+  [[nodiscard]] std::string to_ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Kolmogorov–Smirnov distance between an empirical sample and a reference
+/// CDF evaluated via callback. Sample is copied and sorted internally.
+[[nodiscard]] double ks_distance(std::vector<double> sample,
+                                 const std::function<double(double)>& cdf);
+
+}  // namespace cny::stats

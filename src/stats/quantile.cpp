@@ -1,0 +1,94 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  CNY_EXPECT(q > 0.0 && q < 1.0);
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increment_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const auto idx = static_cast<std::size_t>(i);
+  return heights_[idx] +
+         d / (positions_[idx + 1] - positions_[idx - 1]) *
+             ((positions_[idx] - positions_[idx - 1] + d) *
+                  (heights_[idx + 1] - heights_[idx]) /
+                  (positions_[idx + 1] - positions_[idx]) +
+              (positions_[idx + 1] - positions_[idx] - d) *
+                  (heights_[idx] - heights_[idx - 1]) /
+                  (positions_[idx] - positions_[idx - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto idx = static_cast<std::size_t>(i);
+  const auto j = static_cast<std::size_t>(static_cast<int>(idx) +
+                                          static_cast<int>(d));
+  return heights_[idx] + d * (heights_[j] - heights_[idx]) /
+                             (positions_[j] - positions_[idx]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double d = desired_[idx] - positions_[idx];
+    if ((d >= 1.0 && positions_[idx + 1] - positions_[idx] > 1.0) ||
+        (d <= -1.0 && positions_[idx - 1] - positions_[idx] < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, sign);
+      if (candidate <= heights_[idx - 1] || candidate >= heights_[idx + 1]) {
+        candidate = linear(i, sign);
+      }
+      heights_[idx] = candidate;
+      positions_[idx] += sign;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile on the sorted prefix.
+    std::array<double, 5> copy = heights_;
+    std::sort(copy.begin(), copy.begin() + static_cast<long>(count_));
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace cny::stats

@@ -1,0 +1,35 @@
+// P² streaming quantile estimator (Jain & Chlamtac 1985): tracks a single
+// quantile in O(1) memory — used for path-delay percentiles where storing
+// millions of Monte Carlo samples would dominate memory.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace cny::stats {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.99 for the 99th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact while fewer than 5 samples were seen.
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double quantile() const { return q_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, double d) const;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increment_{}; // desired-position increments
+};
+
+}  // namespace cny::stats

@@ -1,0 +1,46 @@
+#include "util/cli.h"
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace cny::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  CNY_EXPECT(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : parse_double(it->second);
+}
+
+long Cli::get_long(const std::string& name, long fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : parse_long(it->second);
+}
+
+}  // namespace cny::util

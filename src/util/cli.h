@@ -1,0 +1,40 @@
+// Minimal command-line flag parser for the example executables.
+//
+//   cny::util::Cli cli(argc, argv);
+//   const double pm = cli.get_double("pm", 0.33);
+//   if (cli.has("help")) { ... }
+//
+// Flags take the forms: --name=value, --name value, --name (boolean).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cny::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] long get_long(const std::string& name, long fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// The program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cny::util

@@ -1,0 +1,16 @@
+// Length and density units used throughout the library.
+//
+// Canonical internal unit is the nanometre (double). Helper constants make
+// call sites read like the paper: `200.0 * units::um`, `4.0 * units::nm`.
+#pragma once
+
+namespace cny::units {
+
+inline constexpr double nm = 1.0;       ///< nanometre (canonical unit)
+inline constexpr double um = 1.0e3;     ///< micrometre in nm
+inline constexpr double mm = 1.0e6;     ///< millimetre in nm
+
+/// Converts a linear density given per micrometre into per nanometre.
+inline constexpr double per_um(double v) { return v / um; }
+
+}  // namespace cny::units

@@ -1,0 +1,43 @@
+// Circuit-level CNT-count-limited yield (Sec 2.2).
+//
+//   Yield = Π_i (1 - p_F(W_i)) ≈ 1 - Σ_i p_F(W_i)                 (eq. 2.3)
+//
+// evaluated over the design's transistor width spectrum, optionally after
+// the upsizing function U_Wt(W) = max(W, W_t) (eq. 2.4).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "device/failure_model.h"
+
+namespace cny::yield {
+
+/// Compact width spectrum: (width, multiplicity) pairs.
+using WidthSpectrum = std::vector<std::pair<double, std::uint64_t>>;
+
+/// Scales a spectrum's widths (technology scaling) and/or multiplies every
+/// multiplicity by `count_scale` (scaling a core-sized design up to a chip).
+[[nodiscard]] WidthSpectrum scale_spectrum(const WidthSpectrum& spectrum,
+                                           double width_scale,
+                                           double count_scale);
+
+/// Total transistors in the spectrum.
+[[nodiscard]] std::uint64_t spectrum_count(const WidthSpectrum& spectrum);
+
+struct YieldBreakdown {
+  double yield_exact = 1.0;     ///< Π (1-pF)^count
+  double yield_approx = 1.0;    ///< 1 - Σ count·pF (eq. 2.3 approximation)
+  double sum_pf = 0.0;          ///< Σ count·pF — the expected failure count
+  double min_width = 0.0;       ///< smallest width in the (upsized) spectrum
+};
+
+/// Evaluates chip yield for the spectrum with devices independently failing
+/// per `model`, after upsizing every width below `w_t` to `w_t`
+/// (w_t = 0 disables upsizing).
+[[nodiscard]] YieldBreakdown circuit_yield(const WidthSpectrum& spectrum,
+                                           const device::FailureModel& model,
+                                           double w_t = 0.0);
+
+}  // namespace cny::yield

@@ -1,0 +1,177 @@
+#include "yield/empty_window.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "rng/distributions.h"
+#include "util/contracts.h"
+
+namespace cny::yield {
+
+namespace {
+
+/// Collapses exactly-equal intervals, returning distinct intervals.
+std::vector<geom::Interval> distinct_windows(
+    std::vector<geom::Interval> windows) {
+  std::sort(windows.begin(), windows.end(),
+            [](const geom::Interval& a, const geom::Interval& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi < b.hi;
+            });
+  windows.erase(std::unique(windows.begin(), windows.end()), windows.end());
+  return windows;
+}
+
+}  // namespace
+
+double poisson_union_exact(double lambda_s,
+                           std::vector<geom::Interval> windows,
+                           int max_distinct) {
+  CNY_EXPECT(lambda_s > 0.0);
+  CNY_EXPECT(!windows.empty());
+  for (const auto& w : windows) CNY_EXPECT(!w.empty());
+
+  const auto distinct = distinct_windows(std::move(windows));
+  const int k = static_cast<int>(distinct.size());
+  CNY_EXPECT_MSG(k <= max_distinct,
+                 "too many distinct windows for inclusion-exclusion");
+
+  // Enumerate subsets; union measure per subset via sorted merge over the
+  // (already lo-sorted) member intervals.
+  const std::uint32_t n_subsets = 1u << k;
+  double total = 0.0;
+  std::vector<const geom::Interval*> members;
+  members.reserve(static_cast<std::size_t>(k));
+  for (std::uint32_t mask = 1; mask < n_subsets; ++mask) {
+    members.clear();
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) {
+        members.push_back(&distinct[static_cast<std::size_t>(i)]);
+      }
+    }
+    double measure = 0.0;
+    double cur_lo = members.front()->lo;
+    double cur_hi = members.front()->hi;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const auto& iv = *members[i];
+      if (iv.lo > cur_hi) {
+        measure += cur_hi - cur_lo;
+        cur_lo = iv.lo;
+        cur_hi = iv.hi;
+      } else {
+        cur_hi = std::max(cur_hi, iv.hi);
+      }
+    }
+    measure += cur_hi - cur_lo;
+
+    const double term = std::exp(-lambda_s * measure);
+    total += (std::popcount(mask) % 2 == 1) ? term : -term;
+  }
+  // Alternating-series rounding can nick the result just below 0 when the
+  // union probability underflows; clamp.
+  return std::clamp(total, 0.0, 1.0);
+}
+
+UnionMcResult union_conditional_mc(double lambda_s,
+                                   const std::vector<geom::Interval>& windows,
+                                   std::size_t n_samples,
+                                   rng::Xoshiro256& rng) {
+  CNY_EXPECT(lambda_s > 0.0);
+  CNY_EXPECT(!windows.empty());
+  CNY_EXPECT(n_samples >= 2);
+
+  // Marginal empty probabilities P(E_i) = exp(-λ_s |w_i|).
+  const std::size_t n = windows.size();
+  std::vector<double> p_empty(n);
+  double sum_p = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    CNY_EXPECT(!windows[i].empty());
+    p_empty[i] = std::exp(-lambda_s * windows[i].length());
+    sum_p += p_empty[i];
+  }
+  const rng::DiscreteSampler pick(p_empty);
+
+  // Only points inside ∪ windows matter; sample the conditional Poisson
+  // process on (∪ windows) \ w_i as independent Poisson points on each
+  // disjoint component of that set.
+  geom::IntervalSet all;
+  for (const auto& w : windows) all.add(w);
+
+  stats::Accumulator acc;
+  std::vector<double> points;
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    const std::size_t i = pick(rng);
+    const auto& forced = windows[i];
+
+    // Components of (∪ windows) \ forced.
+    points.clear();
+    for (const auto& comp : all.components()) {
+      // Subtract `forced` from this component (0, 1 or 2 residual pieces).
+      const geom::Interval pieces[2] = {
+          {comp.lo, std::min(comp.hi, forced.lo)},
+          {std::max(comp.lo, forced.hi), comp.hi}};
+      for (const auto& piece : pieces) {
+        if (piece.empty()) continue;
+        const long cnt = rng::sample_poisson(rng, lambda_s * piece.length());
+        for (long c = 0; c < cnt; ++c) {
+          points.push_back(rng.uniform(piece.lo, piece.hi));
+        }
+      }
+    }
+    std::sort(points.begin(), points.end());
+
+    // Count empty windows (window i is empty by construction).
+    std::size_t empties = 0;
+    for (const auto& w : windows) {
+      const auto it = std::lower_bound(points.begin(), points.end(), w.lo);
+      const bool has_point = it != points.end() && *it < w.hi;
+      if (!has_point) ++empties;
+    }
+    CNY_ENSURE(empties >= 1);
+    acc.add(sum_p / static_cast<double>(empties));
+  }
+
+  return UnionMcResult{acc.mean(), acc.std_error(), n_samples};
+}
+
+UnionMcResult union_direct_mc(const cnt::PitchModel& pitch, double p_fail,
+                              const std::vector<geom::Interval>& windows,
+                              std::size_t n_samples, rng::Xoshiro256& rng) {
+  CNY_EXPECT(!windows.empty());
+  CNY_EXPECT(p_fail >= 0.0 && p_fail < 1.0);
+  CNY_EXPECT(n_samples >= 2);
+
+  double lo = windows.front().lo, hi = windows.front().hi;
+  for (const auto& w : windows) {
+    CNY_EXPECT(!w.empty());
+    lo = std::min(lo, w.lo);
+    hi = std::max(hi, w.hi);
+  }
+
+  std::size_t failures = 0;
+  std::vector<double> points;
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    points.clear();
+    double y = lo + pitch.sample_equilibrium(rng);
+    while (y < hi) {
+      if (!rng::sample_bernoulli(rng, p_fail)) points.push_back(y);
+      y += pitch.sample(rng);
+    }
+    bool any_empty = false;
+    for (const auto& w : windows) {
+      const auto it = std::lower_bound(points.begin(), points.end(), w.lo);
+      if (!(it != points.end() && *it < w.hi)) {
+        any_empty = true;
+        break;
+      }
+    }
+    if (any_empty) ++failures;
+  }
+
+  const auto ci = stats::wilson_ci(failures, n_samples);
+  const double p = static_cast<double>(failures) / static_cast<double>(n_samples);
+  return UnionMcResult{p, 0.25 * ci.width(), n_samples};
+}
+
+}  // namespace cny::yield

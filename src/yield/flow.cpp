@@ -1,0 +1,164 @@
+#include "yield/flow.h"
+
+#include <cmath>
+
+#include "layout/aligned_active.h"
+#include "layout/row_placement.h"
+#include "power/penalty.h"
+#include "rng/engine.h"
+#include "util/contracts.h"
+#include "util/strings.h"
+#include "yield/empty_window.h"
+#include "yield/row_model.h"
+
+namespace cny::yield {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Uncorrelated: return "uncorrelated";
+    case Strategy::DirectionalOnly: return "directional only";
+    case Strategy::AlignedOneRow: return "aligned-active (1 row)";
+    case Strategy::AlignedTwoRows: return "aligned-active (2 rows)";
+  }
+  return "?";
+}
+
+const StrategyResult& FlowResult::get(Strategy s) const {
+  for (const auto& r : strategies) {
+    if (r.strategy == s) return r;
+  }
+  CNY_EXPECT_MSG(false, "strategy not present in flow result");
+  return strategies.front();  // unreachable
+}
+
+util::Table FlowResult::summary_table() const {
+  util::Table t("Yield-flow strategy comparison");
+  t.header({"strategy", "relaxation", "W_min (nm)", "power penalty",
+            "cells widened", "library area"});
+  for (const auto& r : strategies) {
+    t.begin_row()
+        .cell(to_string(r.strategy))
+        .cell(util::format_sig(r.relaxation, 4) + "X")
+        .num(r.w_min, 4)
+        .cell(util::format_pct(r.power_penalty))
+        .cell(std::to_string(r.cells_widened))
+        .cell("+" + util::format_pct(r.area_penalty));
+  }
+  return t;
+}
+
+namespace {
+
+/// Relaxation of the DirectionalOnly strategy: conditional MC over the
+/// unmodified library's window-offset diversity at the W_min operating
+/// point (iterated once: relaxation depends weakly on the width used).
+double directional_relaxation(const netlist::Design& design,
+                              const device::FailureModel& model,
+                              const FlowParams& params, double w_probe,
+                              double m_r_min_devices) {
+  const auto offsets = layout::window_offsets(design, w_probe);
+  CNY_EXPECT_MSG(!offsets.empty(), "design has no critical regions");
+  std::vector<geom::Interval> windows;
+  windows.reserve(offsets.size());
+  for (const auto& o : offsets) windows.push_back({o.y, o.y + w_probe});
+
+  const double p_f = model.p_f(w_probe);
+  const double lambda_s = -std::log(p_f) / w_probe;
+  rng::Xoshiro256 rng(rng::derive_seed(params.seed, 0xF10));
+  const double p_rf =
+      union_conditional_mc(lambda_s, windows, params.mc_samples, rng)
+          .estimate;
+  RowParams rows;
+  rows.l_cnt = params.l_cnt;
+  rows.fets_per_um = params.fets_per_um;
+  rows.m_min = 1;
+  (void)m_r_min_devices;
+  return relaxation_factor(p_rf, p_f, rows);
+}
+
+}  // namespace
+
+FlowResult run_flow(const celllib::Library& lib,
+                    const netlist::Design& design,
+                    const device::FailureModel& model,
+                    const FlowParams& params) {
+  CNY_EXPECT(&design.library() == &lib);
+  CNY_EXPECT(params.chip_transistors > 0.0);
+
+  auto spectrum = design.width_spectrum();
+  spectrum = scale_spectrum(
+      spectrum, 1.0,
+      params.chip_transistors / double(design.n_transistors()));
+
+  RowParams rows;
+  rows.l_cnt = params.l_cnt;
+  rows.fets_per_um = params.fets_per_um;
+  rows.m_min = 1;
+  const double mrmin = m_r_min(rows);
+
+  FlowResult out;
+  out.m_r_min = mrmin;
+
+  const auto solve = [&](double relaxation) {
+    WminRequest req;
+    req.yield_desired = params.yield_desired;
+    req.relaxation = relaxation;
+    return solve_w_min(spectrum, model, req);
+  };
+
+  // Uncorrelated baseline.
+  const auto base = solve(1.0);
+  out.m_min_uncorrelated = base.m_min;
+
+  // Directional-only: probe the relaxation at the baseline W_min.
+  const double dir_relax =
+      directional_relaxation(design, model, params, base.w_min, mrmin);
+
+  const auto eval_aligned = [&](int rows_per_polarity, StrategyResult& r) {
+    const double relax = mrmin / (rows_per_polarity == 2 ? 2.0 : 1.0);
+    const auto solved = solve(relax);
+    layout::AlignOptions options;
+    options.w_min = solved.w_min;
+    options.rows_per_polarity = rows_per_polarity;
+    const auto aligned =
+        layout::align_active(lib, options, params.active_spacing);
+    r.relaxation = relax;
+    r.w_min = solved.w_min;
+    r.power_penalty = power::upsizing_penalty(spectrum, solved.w_min);
+    r.area_penalty = aligned.area_increase();
+    r.cells_widened = aligned.cells_with_penalty();
+  };
+
+  {
+    StrategyResult r;
+    r.strategy = Strategy::Uncorrelated;
+    r.relaxation = 1.0;
+    r.w_min = base.w_min;
+    r.power_penalty = power::upsizing_penalty(spectrum, base.w_min);
+    out.strategies.push_back(r);
+  }
+  {
+    StrategyResult r;
+    r.strategy = Strategy::DirectionalOnly;
+    r.relaxation = dir_relax;
+    const auto solved = solve(dir_relax);
+    r.w_min = solved.w_min;
+    r.power_penalty = power::upsizing_penalty(spectrum, solved.w_min);
+    out.strategies.push_back(r);
+  }
+  {
+    StrategyResult r;
+    r.strategy = Strategy::AlignedOneRow;
+    eval_aligned(1, r);
+    out.strategies.push_back(r);
+  }
+  {
+    StrategyResult r;
+    r.strategy = Strategy::AlignedTwoRows;
+    eval_aligned(2, r);
+    out.strategies.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace cny::yield

@@ -1,0 +1,70 @@
+// YieldFlow — the one-call entry point a downstream user adopts: give it a
+// library, a design and process assumptions; it runs the paper's whole
+// methodology and reports every layout strategy side by side.
+//
+//   strategies compared (Sec 2 vs Sec 3):
+//     Uncorrelated        — eq. 2.5 W_min, no correlation credit
+//     DirectionalOnly     — directional growth, unmodified library
+//                           (numerical p_RF over the library's offsets)
+//     AlignedOneRow       — aligned-active, one grid row per polarity
+//     AlignedTwoRows      — two grid rows (area-free, 2X less credit)
+//
+// Outputs per strategy: the earned relaxation, W_min, upsizing power
+// penalty, and (for the aligned flows) the library area increase.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "celllib/generator.h"
+#include "device/failure_model.h"
+#include "netlist/design.h"
+#include "util/table.h"
+#include "yield/wmin_solver.h"
+
+namespace cny::yield {
+
+enum class Strategy {
+  Uncorrelated,
+  DirectionalOnly,
+  AlignedOneRow,
+  AlignedTwoRows,
+};
+
+[[nodiscard]] const char* to_string(Strategy s);
+
+struct FlowParams {
+  double yield_desired = 0.90;
+  double chip_transistors = 1e8;   ///< design is count-scaled to this M
+  double l_cnt = 200.0e3;          ///< nm
+  double fets_per_um = 1.8;        ///< P_min-CNFET (paper's measured value)
+  double active_spacing = 140.0;   ///< same-y diffusion rule for alignment
+  std::size_t mc_samples = 20000;  ///< conditional-MC budget (DirectionalOnly)
+  std::uint64_t seed = 1;
+};
+
+struct StrategyResult {
+  Strategy strategy = Strategy::Uncorrelated;
+  double relaxation = 1.0;      ///< p_F requirement credit vs uncorrelated
+  double w_min = 0.0;           ///< nm
+  double power_penalty = 0.0;   ///< upsizing capacitance penalty (fraction)
+  double area_penalty = 0.0;    ///< library placement-area increase
+  std::size_t cells_widened = 0;
+};
+
+struct FlowResult {
+  std::vector<StrategyResult> strategies;  ///< in enum order
+  double m_r_min = 0.0;
+  std::uint64_t m_min_uncorrelated = 0;
+
+  [[nodiscard]] const StrategyResult& get(Strategy s) const;
+  [[nodiscard]] util::Table summary_table() const;
+};
+
+/// Runs every strategy. The design must target `lib`.
+[[nodiscard]] FlowResult run_flow(const celllib::Library& lib,
+                                  const netlist::Design& design,
+                                  const device::FailureModel& model,
+                                  const FlowParams& params);
+
+}  // namespace cny::yield

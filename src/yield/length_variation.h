@@ -1,0 +1,67 @@
+// Finite / variable CNT length extension (the "impact of CNT length
+// variations" the paper defers to a more detailed version, Sec 3.1).
+//
+// The paper assumes perfect correlation within L_CNT and none beyond. With
+// finite tubes the sharing structure along a row is richer: a tube of
+// length L grown with origin x0 covers devices at every x in [x0, x0 + L).
+// For an aligned-active row (all devices share one y-interval of width W),
+// device i fails iff *no functional tube covers x_i*, and
+//
+//   P( all devices in S fail ) = exp( -ν W · E_L[ |∪_{i∈S} (x_i - L, x_i]| ] )
+//
+// where ν = λ_s / E[L] is the tube-origin intensity per (x0, y) area that
+// keeps the stationary coverage density at λ_s. The row failure probability
+// is therefore the SAME union-of-empty-windows problem as the y-offset
+// analysis — over x-intervals of length L — and reuses the exact
+// inclusion–exclusion and conditional-MC engines.
+#pragma once
+
+#include <vector>
+
+#include "geom/interval.h"
+#include "rng/engine.h"
+#include "yield/empty_window.h"
+
+namespace cny::yield {
+
+/// CNT length law: a point mass at `mean` (cv = 0) or lognormal with the
+/// given linear-domain mean and CV.
+struct LengthModel {
+  double mean = 200.0e3;  ///< nm (paper: 200 µm)
+  double cv = 0.0;
+
+  /// E[ |∪_i (x_i - L, x_i]| ] for the given device positions — the
+  /// exponent kernel above. Positions need not be sorted.
+  [[nodiscard]] double mean_cover_measure(
+      const std::vector<double>& positions) const;
+
+  /// Draws a tube length.
+  [[nodiscard]] double sample(rng::Xoshiro256& rng) const;
+};
+
+/// Analytic row failure probability for an aligned-active row of devices of
+/// width W at the given x positions, with functional-tube linear density
+/// lambda_s (per nm of y) and the tube length law.
+/// Exact for the point-mass law; for cv > 0 the length expectation is
+/// integrated on a quantile grid (`length_grid` points).
+[[nodiscard]] double p_rf_finite_length(double lambda_s, double device_width,
+                                        const std::vector<double>& positions,
+                                        const LengthModel& length,
+                                        int length_grid = 64);
+
+/// Effective sharing factor: how many of the row's M devices the finite
+/// length actually lets share one failure opportunity,
+///   M_eff = p_rf_independent / p_rf_finite_length  (<= M, -> M as L -> ∞).
+[[nodiscard]] double effective_sharing(double lambda_s, double device_width,
+                                       const std::vector<double>& positions,
+                                       const LengthModel& length);
+
+/// Monte Carlo cross-check: grows explicit tubes (Poisson origins, sampled
+/// lengths, thinned to functional density lambda_s) and counts rows where
+/// any device position is uncovered. Usable when p_RF is not too small.
+[[nodiscard]] UnionMcResult p_rf_finite_length_mc(
+    double lambda_s, double device_width,
+    const std::vector<double>& positions, const LengthModel& length,
+    std::size_t n_rows, rng::Xoshiro256& rng);
+
+}  // namespace cny::yield

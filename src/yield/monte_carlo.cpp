@@ -1,0 +1,90 @@
+#include "yield/monte_carlo.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace cny::yield {
+
+namespace {
+
+/// Does any window lack a functional CNT? `points` must be sorted.
+bool any_window_empty(const std::vector<double>& points,
+                      const std::vector<geom::Interval>& windows) {
+  for (const auto& w : windows) {
+    const auto it = std::lower_bound(points.begin(), points.end(), w.lo);
+    if (!(it != points.end() && *it < w.hi)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ChipMcResult simulate_chip_yield(const cnt::DirectionalGrowth& growth,
+                                 const ChipSpec& spec, GrowthStyle style,
+                                 std::uint64_t n_chips,
+                                 rng::Xoshiro256& rng) {
+  CNY_EXPECT(!spec.row_windows.empty());
+  CNY_EXPECT(spec.n_rows >= 1);
+  CNY_EXPECT(n_chips >= 2);
+
+  double lo = spec.row_windows.front().lo;
+  double hi = spec.row_windows.front().hi;
+  for (const auto& w : spec.row_windows) {
+    CNY_EXPECT(!w.empty());
+    lo = std::min(lo, w.lo);
+    hi = std::max(hi, w.hi);
+  }
+
+  std::uint64_t chip_failures = 0;
+  std::uint64_t row_failures = 0;
+  std::uint64_t rows = 0;
+  std::vector<double> points;
+
+  for (std::uint64_t chip = 0; chip < n_chips; ++chip) {
+    bool chip_failed = false;
+    for (std::uint64_t r = 0; r < spec.n_rows; ++r) {
+      ++rows;
+      bool row_failed = false;
+      if (style == GrowthStyle::Directional) {
+        points = growth.functional_positions(rng, lo, hi);
+        row_failed = any_window_empty(points, spec.row_windows);
+      } else {
+        // Uncorrelated growth: every device sees a fresh CNT population.
+        for (const auto& w : spec.row_windows) {
+          points = growth.functional_positions(rng, w.lo, w.hi);
+          const auto it =
+              std::lower_bound(points.begin(), points.end(), w.lo);
+          if (!(it != points.end() && *it < w.hi)) {
+            row_failed = true;
+            break;
+          }
+        }
+      }
+      if (row_failed) {
+        ++row_failures;
+        chip_failed = true;
+        // Chip yield only needs "any row failed"; for p_RF statistics we
+        // keep scanning remaining rows of this chip.
+      }
+    }
+    if (chip_failed) ++chip_failures;
+  }
+
+  ChipMcResult out;
+  out.chips = n_chips;
+  out.rows_simulated = rows;
+  const auto chip_ci = stats::wilson_ci(
+      static_cast<std::size_t>(n_chips - chip_failures),
+      static_cast<std::size_t>(n_chips));
+  out.chip_yield = static_cast<double>(n_chips - chip_failures) /
+                   static_cast<double>(n_chips);
+  out.chip_yield_err = 0.25 * chip_ci.width();
+  const auto row_ci = stats::wilson_ci(static_cast<std::size_t>(row_failures),
+                                       static_cast<std::size_t>(rows));
+  out.p_rf = static_cast<double>(row_failures) / static_cast<double>(rows);
+  out.p_rf_err = 0.25 * row_ci.width();
+  return out;
+}
+
+}  // namespace cny::yield

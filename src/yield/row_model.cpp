@@ -1,0 +1,42 @@
+#include "yield/row_model.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace cny::yield {
+
+double m_r_min(const RowParams& params) {
+  CNY_EXPECT(params.l_cnt > 0.0);
+  CNY_EXPECT(params.fets_per_um > 0.0);
+  return params.l_cnt / 1000.0 * params.fets_per_um;
+}
+
+double k_rows(const RowParams& params) {
+  CNY_EXPECT(params.m_min > 0);
+  return static_cast<double>(params.m_min) / m_r_min(params);
+}
+
+double p_rf_uncorrelated(double p_f, const RowParams& params) {
+  CNY_EXPECT(p_f >= 0.0 && p_f < 1.0);
+  // 1 - (1-p)^n computed stably for tiny p.
+  return -std::expm1(m_r_min(params) * std::log1p(-p_f));
+}
+
+double p_rf_aligned(double p_f) {
+  CNY_EXPECT(p_f >= 0.0 && p_f < 1.0);
+  return p_f;
+}
+
+double chip_yield_from_rows(double p_rf, const RowParams& params) {
+  CNY_EXPECT(p_rf >= 0.0 && p_rf < 1.0);
+  return std::exp(k_rows(params) * std::log1p(-p_rf));
+}
+
+double relaxation_factor(double p_rf_style, double p_f,
+                         const RowParams& params) {
+  CNY_EXPECT(p_rf_style > 0.0);
+  return p_rf_uncorrelated(p_f, params) / p_rf_style;
+}
+
+}  // namespace cny::yield

@@ -1,0 +1,47 @@
+// Row-correlation yield model (Sec 3.1, eqs. 3.1–3.2).
+//
+// With directional growth, the chip's M_min small-width CNFETs are spread
+// over K_R rows; devices in different rows never share CNTs, devices in the
+// same row share CNTs where their active-region y-intervals overlap. The
+// chip-level failure budget then applies per row:
+//
+//   Yield = Π_i (1 - p_RF_i) ≈ 1 - K_R · p_RF                      (eq. 3.1)
+//   M_Rmin = L_CNT · P_min-CNFET                                   (eq. 3.2)
+//
+// Extremes: fully aligned rows give p_RF = p_F (one shared CNT set);
+// independent devices give p_RF = 1 - (1 - p_F)^{M_Rmin}.
+#pragma once
+
+#include <cstdint>
+
+namespace cny::yield {
+
+struct RowParams {
+  double l_cnt = 200.0e3;        ///< CNT length, nm (200 µm [Kang 07])
+  double fets_per_um = 1.8;      ///< P_min-CNFET, critical FETs per µm
+  std::uint64_t m_min = 0;       ///< chip-wide minimum-size device count
+};
+
+/// M_Rmin (eq. 3.2): average number of minimum-size CNFETs per row segment
+/// of one CNT length.
+[[nodiscard]] double m_r_min(const RowParams& params);
+
+/// Number of independent row segments K_R = M_min / M_Rmin.
+[[nodiscard]] double k_rows(const RowParams& params);
+
+/// p_RF for fully uncorrelated devices: 1 - (1-p_F)^{M_Rmin}.
+[[nodiscard]] double p_rf_uncorrelated(double p_f, const RowParams& params);
+
+/// p_RF under perfect aligned-active sharing: p_F itself.
+[[nodiscard]] double p_rf_aligned(double p_f);
+
+/// Chip yield from a per-row failure probability (eq. 3.1, exact product).
+[[nodiscard]] double chip_yield_from_rows(double p_rf,
+                                          const RowParams& params);
+
+/// The failure-probability relaxation factor a layout style earns relative
+/// to the uncorrelated baseline: p_RF_uncorrelated / p_RF_style.
+[[nodiscard]] double relaxation_factor(double p_rf_style, double p_f,
+                                       const RowParams& params);
+
+}  // namespace cny::yield

@@ -1,0 +1,86 @@
+#include "yield/wmin_solver.h"
+
+#include <cmath>
+
+#include "numeric/roots.h"
+#include "util/contracts.h"
+
+namespace cny::yield {
+
+double invert_p_f(const device::FailureModel& model, double p_f_target,
+                  double w_lo, double w_hi) {
+  CNY_EXPECT(p_f_target > 0.0 && p_f_target < 1.0);
+  CNY_EXPECT(w_lo > 0.0 && w_hi > w_lo);
+  // Work in log space: log p_F(W) is close to linear in W (Fig 2.1), which
+  // makes Brent converge in a handful of iterations.
+  const auto log_pf = [&](double w) { return std::log(model.p_f(w)); };
+  const double target = std::log(p_f_target);
+  CNY_EXPECT_MSG(log_pf(w_lo) >= target,
+                 "W bracket too high: p_F(w_lo) below target");
+  CNY_EXPECT_MSG(log_pf(w_hi) <= target,
+                 "W bracket too low: p_F(w_hi) above target");
+  const auto res = cny::numeric::invert_decreasing(log_pf, target, w_lo, w_hi,
+                                                   1e-6);
+  CNY_ENSURE(res.converged);
+  return res.x;
+}
+
+WminResult solve_w_min(const WidthSpectrum& spectrum,
+                       const device::FailureModel& model,
+                       const WminRequest& request) {
+  CNY_EXPECT(request.yield_desired > 0.0 && request.yield_desired < 1.0);
+  CNY_EXPECT(request.relaxation >= 1.0);
+  CNY_EXPECT(!spectrum.empty());
+
+  const double budget = 1.0 - request.yield_desired;
+
+  WminResult result;
+  // Initial M_min guess: every transistor (pessimistic; shrinks monotonely).
+  std::uint64_t m_min = request.fixed_m_min > 0 ? request.fixed_m_min
+                                                : spectrum_count(spectrum);
+  constexpr int kMaxIterations = 30;
+  for (int iter = 1; iter <= kMaxIterations; ++iter) {
+    result.iterations = iter;
+    const double target =
+        budget / static_cast<double>(m_min) * request.relaxation;
+    CNY_EXPECT_MSG(target < 1.0, "yield target unreachable: p_F* >= 1");
+    const double w = invert_p_f(model, target, request.w_lo, request.w_hi);
+
+    if (request.fixed_m_min > 0) {
+      result.w_min = w;
+      result.p_f_target = target;
+      result.m_min = m_min;
+      result.converged = true;
+      break;
+    }
+
+    // Recount: devices that would sit at the threshold after upsizing.
+    std::uint64_t count = 0;
+    for (const auto& [width, n] : spectrum) {
+      if (width <= w) count += n;
+    }
+    if (count == 0) {
+      // Every device already exceeds the candidate threshold: the design
+      // meets the yield target with no upsizing at all.
+      result.w_min = w;
+      result.p_f_target = target;
+      result.m_min = 0;
+      result.converged = true;
+      break;
+    }
+    if (count == m_min) {
+      result.w_min = w;
+      result.p_f_target = target;
+      result.m_min = m_min;
+      result.converged = true;
+      break;
+    }
+    m_min = count;
+  }
+  CNY_ENSURE_MSG(result.converged, "W_min fixpoint did not converge");
+
+  result.verification = circuit_yield(spectrum, model, result.w_min);
+  return result;
+}
+
+}  // namespace cny::yield

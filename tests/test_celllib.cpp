@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "celllib/generator.h"
+#include "celllib/liberty_lite.h"
+#include "celllib/library.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny::celllib;
+
+TEST(Cell, WidthHelpers) {
+  Cell c;
+  c.name = "T";
+  c.width = 500.0;
+  c.height = 1400.0;
+  c.regions.push_back({Polarity::N, {50.0, 150.0, 200.0, 120.0}});
+  c.regions.push_back({Polarity::P, {50.0, 1000.0, 200.0, 180.0}});
+  c.transistors.push_back({"MN0", Polarity::N, 120.0, 0});
+  c.transistors.push_back({"MN1", Polarity::N, 90.0, 0});
+  c.transistors.push_back({"MP0", Polarity::P, 180.0, 1});
+  EXPECT_DOUBLE_EQ(c.min_transistor_width(), 90.0);
+  EXPECT_EQ(c.transistor_widths().size(), 3u);
+  EXPECT_DOUBLE_EQ(c.region_fet_width(0), 120.0);
+  EXPECT_DOUBLE_EQ(c.region_fet_width(1), 180.0);
+  EXPECT_EQ(c.regions_of(Polarity::N), std::vector<int>{0});
+  // 90 <= 100 → region 0 is critical at threshold 100; region 1 is not.
+  EXPECT_EQ(c.critical_regions(Polarity::N, 100.0), std::vector<int>{0});
+  EXPECT_TRUE(c.critical_regions(Polarity::P, 100.0).empty());
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Cell, ValidationCatchesInconsistencies) {
+  Cell c;
+  c.name = "BAD";
+  c.width = 100.0;
+  c.height = 100.0;
+  c.regions.push_back({Polarity::N, {0.0, 0.0, 50.0, 50.0}});
+  c.transistors.push_back({"MN0", Polarity::P, 50.0, 0});  // polarity mismatch
+  EXPECT_THROW(c.validate(), cny::ContractViolation);
+  c.transistors[0].polarity = Polarity::N;
+  EXPECT_NO_THROW(c.validate());
+  c.regions[0].rect.w = 200.0;  // outside cell box
+  EXPECT_THROW(c.validate(), cny::ContractViolation);
+}
+
+TEST(Library, FindAndDuplicateDetection) {
+  Library lib("test", 45.0);
+  Cell c;
+  c.name = "INV_X1";
+  c.width = 100.0;
+  c.height = 100.0;
+  c.regions.push_back({Polarity::N, {10.0, 10.0, 40.0, 40.0}});
+  c.transistors.push_back({"MN0", Polarity::N, 40.0, 0});
+  lib.add(c);
+  EXPECT_NE(lib.find("INV_X1"), nullptr);
+  EXPECT_EQ(lib.find("NOPE"), nullptr);
+  lib.add(c);  // duplicate
+  EXPECT_THROW(lib.validate(), cny::ContractViolation);
+}
+
+TEST(Library, ScalingIsLinearEverywhere) {
+  const Library lib = make_nangate45_like();
+  const Library scaled = lib.scaled(22.5);  // exactly half
+  ASSERT_EQ(scaled.size(), lib.size());
+  EXPECT_DOUBLE_EQ(scaled.node_nm(), 22.5);
+  const Cell& a = lib.cells()[10];
+  const Cell& b = scaled.cells()[10];
+  EXPECT_DOUBLE_EQ(b.width, a.width * 0.5);
+  EXPECT_DOUBLE_EQ(b.height, a.height * 0.5);
+  EXPECT_DOUBLE_EQ(b.transistors[0].width, a.transistors[0].width * 0.5);
+  EXPECT_DOUBLE_EQ(b.regions[0].rect.y, a.regions[0].rect.y * 0.5);
+  EXPECT_DOUBLE_EQ(b.pins[0].x, a.pins[0].x * 0.5);
+  EXPECT_NO_THROW(scaled.validate());
+}
+
+TEST(Library, UpsizeGrowsWidthsAndRegions) {
+  Library lib = make_nangate45_like();
+  const double w_min = 155.0;
+  lib.upsize_transistors([&](double w) { return std::max(w, w_min); });
+  for (const auto& c : lib.cells()) {
+    EXPECT_GE(c.min_transistor_width(), w_min) << c.name;
+    for (std::size_t r = 0; r < c.regions.size(); ++r) {
+      EXPECT_GE(c.regions[r].rect.h + 1e-9,
+                c.region_fet_width(static_cast<int>(r)))
+          << c.name;
+    }
+  }
+  EXPECT_NO_THROW(lib.validate());
+}
+
+TEST(Library, UpsizeRejectsShrinking) {
+  Library lib = make_nangate45_like();
+  EXPECT_THROW(lib.upsize_transistors([](double w) { return w * 0.5; }),
+               cny::ContractViolation);
+}
+
+TEST(Generator, Nangate45Has134ValidCells) {
+  const Library lib = make_nangate45_like();
+  EXPECT_EQ(lib.size(), 134u);
+  EXPECT_DOUBLE_EQ(lib.node_nm(), 45.0);
+  EXPECT_NO_THROW(lib.validate());
+  EXPECT_DOUBLE_EQ(lib.min_transistor_width(), 90.0);
+  // The Fig 3.2 cell exists and is folded (multiple n regions).
+  const Cell* aoi = lib.find("AOI222_X1");
+  ASSERT_NE(aoi, nullptr);
+  EXPECT_GE(aoi->regions_of(Polarity::N).size(), 2u);
+}
+
+TEST(Generator, Commercial65Has775ValidCells) {
+  const Library lib = make_commercial65_like();
+  EXPECT_EQ(lib.size(), 775u);
+  EXPECT_DOUBLE_EQ(lib.node_nm(), 65.0);
+  EXPECT_NO_THROW(lib.validate());
+  // VT variants share geometry with the base cell.
+  const Cell* base = lib.find("NAND2_X1");
+  const Cell* lvt = lib.find("NAND2_LVT_X1");
+  ASSERT_NE(base, nullptr);
+  ASSERT_NE(lvt, nullptr);
+  EXPECT_DOUBLE_EQ(base->width, lvt->width);
+  EXPECT_EQ(base->transistors.size(), lvt->transistors.size());
+}
+
+TEST(Generator, DeterministicAcrossCalls) {
+  const Library a = make_nangate45_like();
+  const Library b = make_nangate45_like();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.cells()[i].name, b.cells()[i].name);
+    EXPECT_DOUBLE_EQ(a.cells()[i].width, b.cells()[i].width);
+    EXPECT_DOUBLE_EQ(a.cells()[i].regions[0].rect.y,
+                     b.cells()[i].regions[0].rect.y);
+  }
+}
+
+TEST(Generator, SequentialCellsKeepMinimumInternals) {
+  const Library lib = make_nangate45_like();
+  const Cell* x1 = lib.find("DFF_X1");
+  const Cell* x2 = lib.find("DFF_X2");
+  ASSERT_NE(x1, nullptr);
+  ASSERT_NE(x2, nullptr);
+  // Internal minimum stays the library minimum at every drive.
+  EXPECT_DOUBLE_EQ(x1->min_transistor_width(), 90.0);
+  EXPECT_DOUBLE_EQ(x2->min_transistor_width(), 90.0);
+}
+
+TEST(Generator, DriveScalesLogicWidths) {
+  const Library lib = make_nangate45_like();
+  const Cell* x1 = lib.find("NAND2_X1");
+  const Cell* x2 = lib.find("NAND2_X2");
+  ASSERT_NE(x1, nullptr);
+  ASSERT_NE(x2, nullptr);
+  double max1 = 0.0, max2 = 0.0;
+  for (const auto& t : x1->transistors) max1 = std::max(max1, t.width);
+  for (const auto& t : x2->transistors) max2 = std::max(max2, t.width);
+  EXPECT_NEAR(max2 / max1, 2.0, 0.01);
+}
+
+TEST(LibertyLite, RoundTripIsLossless) {
+  const Library lib = make_nangate45_like();
+  const std::string text = to_liberty_lite(lib);
+  const Library parsed = from_liberty_lite(text);
+  ASSERT_EQ(parsed.size(), lib.size());
+  EXPECT_EQ(parsed.name(), lib.name());
+  EXPECT_DOUBLE_EQ(parsed.node_nm(), lib.node_nm());
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const Cell& a = lib.cells()[i];
+    const Cell& b = parsed.cells()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_EQ(a.drive, b.drive);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_DOUBLE_EQ(a.width, b.width);
+    ASSERT_EQ(a.transistors.size(), b.transistors.size());
+    for (std::size_t t = 0; t < a.transistors.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a.transistors[t].width, b.transistors[t].width);
+      EXPECT_EQ(a.transistors[t].region, b.transistors[t].region);
+    }
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (std::size_t r = 0; r < a.regions.size(); ++r) {
+      EXPECT_EQ(a.regions[r].polarity, b.regions[r].polarity);
+      EXPECT_DOUBLE_EQ(a.regions[r].rect.y, b.regions[r].rect.y);
+    }
+    ASSERT_EQ(a.pins.size(), b.pins.size());
+  }
+}
+
+TEST(LibertyLite, FileRoundTrip) {
+  const Library lib = make_nangate45_like();
+  const std::string path = ::testing::TempDir() + "/lib_roundtrip.lib";
+  save_liberty_lite(lib, path);
+  const Library loaded = load_liberty_lite(path);
+  EXPECT_EQ(loaded.size(), lib.size());
+}
+
+TEST(LibertyLite, ParserRejectsMalformedInput) {
+  EXPECT_THROW(from_liberty_lite("garbage here\n"), cny::ContractViolation);
+  EXPECT_THROW(from_liberty_lite("library \"x\" node 45\ncell A\n"),
+               cny::ContractViolation);
+  // Missing endlibrary.
+  EXPECT_THROW(from_liberty_lite("library \"x\" node 45\n"),
+               cny::ContractViolation);
+  // Region before any cell.
+  EXPECT_THROW(
+      from_liberty_lite("library \"x\" node 45\nregion N x 0 y 0 w 1 h 1\n"),
+      cny::ContractViolation);
+}
+
+TEST(LibertyLite, ParserReportsLineNumbers) {
+  try {
+    (void)from_liberty_lite("library \"x\" node 45\nbogus line\n");
+    FAIL();
+  } catch (const cny::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(PolarityAndKind, StringRoundTrips) {
+  EXPECT_EQ(polarity_from_string("N"), Polarity::N);
+  EXPECT_EQ(polarity_from_string("P"), Polarity::P);
+  EXPECT_THROW(polarity_from_string("Q"), cny::ContractViolation);
+  EXPECT_EQ(kind_from_string("comb"), CellKind::Combinational);
+  EXPECT_EQ(kind_from_string("seq"), CellKind::Sequential);
+  EXPECT_EQ(kind_from_string("buf"), CellKind::Buffer);
+  EXPECT_THROW(kind_from_string("x"), cny::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "yield/empty_window.h"
+#include "yield/monte_carlo.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny::yield;
+using cny::cnt::DirectionalGrowth;
+using cny::cnt::PitchModel;
+using cny::geom::Interval;
+
+// Inflated-probability regime: windows of ~30 nm on a Poisson pitch with
+// the worst processing condition give per-window empty probability ~3e-2,
+// resolvable by direct simulation.
+DirectionalGrowth test_growth(double cv = 1.0) {
+  return DirectionalGrowth(PitchModel(4.0, cv), cny::cnt::fig21_worst(),
+                           200.0e3);
+}
+
+double lambda_s() { return (1.0 - cny::cnt::fig21_worst().p_fail()) / 4.0; }
+
+TEST(ChipMc, AlignedRowFailureEqualsSingleWindow) {
+  // All windows identical → p_RF = P(one window empty).
+  const auto growth = test_growth();
+  ChipSpec spec;
+  const double w = 30.0;
+  spec.row_windows = std::vector<Interval>(8, Interval{0.0, w});
+  spec.n_rows = 1;
+  cny::rng::Xoshiro256 rng(201);
+  const auto res = simulate_chip_yield(growth, spec, GrowthStyle::Directional,
+                                       60000, rng);
+  const double expected = std::exp(-lambda_s() * w);
+  EXPECT_NEAR(res.p_rf / expected, 1.0, 0.08);
+}
+
+TEST(ChipMc, UncorrelatedRowMatchesIndependentFormula) {
+  const auto growth = test_growth();
+  ChipSpec spec;
+  const double w = 30.0;
+  spec.row_windows = std::vector<Interval>(8, Interval{0.0, w});
+  spec.n_rows = 1;
+  cny::rng::Xoshiro256 rng(202);
+  const auto res = simulate_chip_yield(growth, spec,
+                                       GrowthStyle::Uncorrelated, 30000, rng);
+  const double p1 = std::exp(-lambda_s() * w);
+  const double expected = 1.0 - std::pow(1.0 - p1, 8.0);
+  EXPECT_NEAR(res.p_rf / expected, 1.0, 0.08);
+}
+
+TEST(ChipMc, DirectionalPartialOverlapMatchesUnionEngine) {
+  // The chip simulator, the exact inclusion-exclusion, and the conditional
+  // MC must agree on the same partially-overlapping window set.
+  const auto growth = test_growth();
+  ChipSpec spec;
+  const double w = 30.0;
+  spec.row_windows = {{0.0, w}, {10.0, 10.0 + w}, {35.0, 35.0 + w}};
+  spec.n_rows = 1;
+  cny::rng::Xoshiro256 rng(203);
+  const auto sim = simulate_chip_yield(growth, spec,
+                                       GrowthStyle::Directional, 120000, rng);
+  const double exact = poisson_union_exact(lambda_s(), spec.row_windows);
+  EXPECT_NEAR(sim.p_rf / exact, 1.0, 0.08);
+  const auto cond =
+      union_conditional_mc(lambda_s(), spec.row_windows, 20000, rng);
+  EXPECT_NEAR(cond.estimate / exact, 1.0, 0.05);
+}
+
+TEST(ChipMc, CorrelationOrdering) {
+  // Directional growth with shared windows must fail *less often per row*
+  // than uncorrelated growth on the same windows — the paper's core claim.
+  const auto growth = test_growth();
+  ChipSpec spec;
+  const double w = 30.0;
+  spec.row_windows = std::vector<Interval>(12, Interval{0.0, w});
+  spec.n_rows = 1;
+  cny::rng::Xoshiro256 rng(204);
+  const auto dir = simulate_chip_yield(growth, spec,
+                                       GrowthStyle::Directional, 40000, rng);
+  const auto unc = simulate_chip_yield(growth, spec,
+                                       GrowthStyle::Uncorrelated, 40000, rng);
+  EXPECT_LT(dir.p_rf, unc.p_rf);
+  EXPECT_GT(unc.p_rf / dir.p_rf, 4.0);  // ~12X for 12 shared windows
+}
+
+TEST(ChipMc, ChipYieldFromRowFailures) {
+  const auto growth = test_growth();
+  ChipSpec spec;
+  const double w = 24.0;  // p_row ≈ e^{-2.8} ≈ 0.06
+  spec.row_windows = {{0.0, w}};
+  spec.n_rows = 10;
+  cny::rng::Xoshiro256 rng(205);
+  const auto res = simulate_chip_yield(growth, spec,
+                                       GrowthStyle::Directional, 20000, rng);
+  const double p_row = std::exp(-lambda_s() * w);
+  EXPECT_NEAR(res.chip_yield, std::pow(1.0 - p_row, 10.0), 0.02);
+  EXPECT_EQ(res.rows_simulated, 200000u);
+}
+
+TEST(ChipMc, SeedReproducibility) {
+  const auto growth = test_growth();
+  ChipSpec spec;
+  spec.row_windows = {{0.0, 30.0}};
+  spec.n_rows = 2;
+  cny::rng::Xoshiro256 a(7), b(7);
+  const auto r1 = simulate_chip_yield(growth, spec,
+                                      GrowthStyle::Directional, 2000, a);
+  const auto r2 = simulate_chip_yield(growth, spec,
+                                      GrowthStyle::Directional, 2000, b);
+  EXPECT_DOUBLE_EQ(r1.chip_yield, r2.chip_yield);
+  EXPECT_DOUBLE_EQ(r1.p_rf, r2.p_rf);
+}
+
+TEST(ChipMc, InputValidation) {
+  const auto growth = test_growth();
+  cny::rng::Xoshiro256 rng(1);
+  ChipSpec empty;
+  EXPECT_THROW(
+      simulate_chip_yield(growth, empty, GrowthStyle::Directional, 10, rng),
+      cny::ContractViolation);
+  ChipSpec bad;
+  bad.row_windows = {{5.0, 5.0}};
+  EXPECT_THROW(
+      simulate_chip_yield(growth, bad, GrowthStyle::Directional, 10, rng),
+      cny::ContractViolation);
+}
+
+}  // namespace

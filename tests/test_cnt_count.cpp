@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cnt/count_distribution.h"
+#include "cnt/growth.h"
+#include "numeric/special.h"
+#include "rng/engine.h"
+#include "stats/accumulator.h"
+#include "util/contracts.h"
+
+namespace {
+
+using cny::cnt::CountDistribution;
+using cny::cnt::PitchModel;
+
+TEST(CountDistribution, NormalisedMass) {
+  for (double cv : {0.6, 0.9, 1.0, 1.2}) {
+    for (double w : {20.0, 80.0, 155.0}) {
+      const CountDistribution d(PitchModel(4.0, cv), w);
+      double sum = 0.0;
+      for (long n = 0; n <= d.max_n(); ++n) sum += d.pmf(n);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "cv=" << cv << " w=" << w;
+    }
+  }
+}
+
+TEST(CountDistribution, MeanIsWidthOverPitch) {
+  // Stationary renewal: E[N(W)] = W/μ exactly, for every pitch CV.
+  for (double cv : {0.5, 0.9, 1.0, 1.3}) {
+    const CountDistribution d(PitchModel(4.0, cv), 100.0);
+    EXPECT_NEAR(d.mean(), 25.0, 1e-6) << "cv=" << cv;
+  }
+}
+
+TEST(CountDistribution, PoissonSpecialCaseMatchesPmf) {
+  const double w = 60.0;
+  const CountDistribution d(PitchModel(4.0, 1.0), w);
+  const double lambda = w / 4.0;
+  for (long n = 0; n <= 40; ++n) {
+    EXPECT_NEAR(d.pmf(n), cny::numeric::poisson_pmf(n, lambda), 1e-9)
+        << "n=" << n;
+  }
+  EXPECT_NEAR(d.variance(), lambda, 0.02);
+}
+
+TEST(CountDistribution, SubPoissonVarianceForRegularPitch) {
+  // CV < 1 (regular spacing) → count variance below Poisson;
+  // CV > 1 → above. Asymptotically Var ≈ cv² · W/μ.
+  const double w = 155.0;
+  const CountDistribution regular(PitchModel(4.0, 0.6), w);
+  const CountDistribution poisson(PitchModel(4.0, 1.0), w);
+  const CountDistribution bursty(PitchModel(4.0, 1.3), w);
+  EXPECT_LT(regular.variance(), poisson.variance());
+  EXPECT_GT(bursty.variance(), poisson.variance());
+  EXPECT_NEAR(regular.variance(), 0.36 * w / 4.0, 0.15 * w / 4.0);
+}
+
+TEST(CountDistribution, TailIsComplementOfPartialSums) {
+  const CountDistribution d(PitchModel(4.0, 0.9), 40.0);
+  EXPECT_NEAR(d.tail(0), 1.0, 1e-12);
+  double partial = 0.0;
+  for (long n = 0; n < 5; ++n) partial += d.pmf(n);
+  EXPECT_NEAR(d.tail(5), 1.0 - partial, 1e-9);
+}
+
+TEST(CountDistribution, PgfAtOneIsOne) {
+  const CountDistribution d(PitchModel(4.0, 0.8), 120.0);
+  EXPECT_NEAR(d.pgf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(d.pgf(0.0), d.pmf(0), 1e-15);
+}
+
+TEST(CountDistribution, PgfPoissonClosedForm) {
+  // E[z^N] = exp(-λ(1-z)) for the Poisson case.
+  const double w = 155.0;
+  const CountDistribution d(PitchModel(4.0, 1.0), w);
+  const double lambda = w / 4.0;
+  for (double z : {0.33, 0.531, 0.9}) {
+    const double closed = std::exp(-lambda * (1.0 - z));
+    EXPECT_NEAR(d.pgf(z) / closed, 1.0, 1e-4) << "z=" << z;
+  }
+  // At z = 0 the closed form is e^-38.75 ~ 1.5e-17 — below the count
+  // model's absolute resolution; require agreement to 1e-12 absolute.
+  EXPECT_NEAR(d.pgf(0.0), std::exp(-lambda), 1e-12);
+}
+
+TEST(CountDistribution, ZeroWidthIsDeterministicallyEmpty) {
+  const CountDistribution d(PitchModel(4.0, 0.9), 0.0);
+  EXPECT_EQ(d.max_n(), 0);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.pgf(0.5), 1.0);
+}
+
+TEST(CountDistribution, MonteCarloAgreement) {
+  // Sample the renewal process directly and compare the empirical PMF.
+  const PitchModel pitch(4.0, 0.8);
+  const double w = 40.0;
+  const CountDistribution d(pitch, w);
+  cny::rng::Xoshiro256 rng(77);
+  const int trials = 60000;
+  std::vector<int> counts(64, 0);
+  for (int t = 0; t < trials; ++t) {
+    long n = 0;
+    double y = pitch.sample_equilibrium(rng);
+    while (y < w) {
+      ++n;
+      y += pitch.sample(rng);
+    }
+    if (n < 64) ++counts[static_cast<std::size_t>(n)];
+  }
+  for (long n = 5; n <= 15; ++n) {
+    const double expected = d.pmf(n);
+    const double observed =
+        double(counts[static_cast<std::size_t>(n)]) / trials;
+    EXPECT_NEAR(observed, expected,
+                5.0 * std::sqrt(expected / trials) + 2e-3)
+        << "n=" << n;
+  }
+}
+
+TEST(CountDistribution, PmfOutOfRangeIsZero) {
+  const CountDistribution d(PitchModel(4.0, 0.9), 20.0);
+  EXPECT_DOUBLE_EQ(d.pmf(d.max_n() + 1), 0.0);
+  EXPECT_THROW(d.pmf(-1), cny::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cnt/growth.h"
+#include "rng/engine.h"
+#include "stats/accumulator.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny::cnt;
+
+ProcessParams worst() { return fig21_worst(); }
+
+TEST(ProcessParams, FailureProbabilityEq21) {
+  // p_f = p_m + p_s * p_Rs (eq. 2.1).
+  const ProcessParams p = worst();
+  EXPECT_NEAR(p.p_fail(), 0.33 + 0.67 * 0.30, 1e-12);
+  EXPECT_NEAR(fig21_mid().p_fail(), 0.33, 1e-12);
+  EXPECT_DOUBLE_EQ(fig21_ideal().p_fail(), 0.0);
+}
+
+TEST(ProcessParams, PfailIndependentOfPrm) {
+  // An unremoved m-CNT still cannot provide a semiconducting channel.
+  ProcessParams a = worst();
+  ProcessParams b = worst();
+  b.p_remove_m = 0.5;
+  EXPECT_DOUBLE_EQ(a.p_fail(), b.p_fail());
+  EXPECT_DOUBLE_EQ(b.p_short(), 0.33 * 0.5);
+  EXPECT_DOUBLE_EQ(a.p_short(), 0.0);
+}
+
+TEST(ProcessParams, FunctionalPredicate) {
+  EXPECT_TRUE(ProcessParams::functional(false, false));
+  EXPECT_FALSE(ProcessParams::functional(true, false));
+  EXPECT_FALSE(ProcessParams::functional(false, true));
+  EXPECT_FALSE(ProcessParams::functional(true, true));
+}
+
+TEST(ProcessParams, ValidationRejectsOutOfRange) {
+  ProcessParams p;
+  p.p_metallic = 1.5;
+  EXPECT_THROW(p.validate(), cny::ContractViolation);
+}
+
+TEST(DirectionalGrowth, BandDensityMatchesPitch) {
+  const PitchModel pitch(4.0, 0.9);
+  const DirectionalGrowth growth(pitch, worst(), 200.0e3);
+  cny::rng::Xoshiro256 rng(41);
+  cny::stats::Accumulator per_band;
+  const double band = 4000.0;  // 1000 expected tubes
+  for (int i = 0; i < 200; ++i) {
+    per_band.add(double(growth.generate_band(rng, 0.0, band, 1.0e6).size()));
+  }
+  EXPECT_NEAR(per_band.mean(), band / 4.0, 10.0);
+}
+
+TEST(DirectionalGrowth, TubePropertiesWithinSpec) {
+  const PitchModel pitch(4.0, 0.9);
+  const DirectionalGrowth growth(pitch, worst(), 200.0e3);
+  cny::rng::Xoshiro256 rng(42);
+  const auto tubes = growth.generate_band(rng, 10.0, 4000.0, 5.0e5);
+  ASSERT_FALSE(tubes.empty());
+  int metallic = 0;
+  for (const auto& t : tubes) {
+    EXPECT_GE(t.y, 10.0);
+    EXPECT_LT(t.y, 4000.0);
+    EXPECT_DOUBLE_EQ(t.length, 200.0e3);
+    EXPECT_DOUBLE_EQ(t.angle, 0.0);
+    EXPECT_GT(t.diameter, 0.0);
+    EXPECT_GE(t.x0, -200.0e3);
+    EXPECT_LT(t.x0, 5.0e5);
+    metallic += t.metallic ? 1 : 0;
+    if (t.metallic) {
+      // p_Rm = 1: every metallic tube must be removed.
+      EXPECT_TRUE(t.removed);
+      EXPECT_FALSE(t.surviving_metallic());
+    }
+    EXPECT_EQ(t.functional(), !t.metallic && !t.removed);
+  }
+  EXPECT_NEAR(double(metallic) / double(tubes.size()), 0.33, 0.04);
+}
+
+TEST(DirectionalGrowth, FunctionalPositionsThinning) {
+  const PitchModel pitch(4.0, 0.9);
+  const DirectionalGrowth growth(pitch, worst(), 200.0e3);
+  cny::rng::Xoshiro256 rng(43);
+  cny::stats::Accumulator acc;
+  const double band = 4000.0;
+  for (int i = 0; i < 300; ++i) {
+    acc.add(double(growth.functional_positions(rng, 0.0, band).size()));
+  }
+  // Expected: (band/μ) * (1 - p_f) = 1000 * 0.469.
+  EXPECT_NEAR(acc.mean(), 1000.0 * (1.0 - worst().p_fail()), 8.0);
+}
+
+TEST(DirectionalGrowth, CoversXPredicate) {
+  Cnt tube;
+  tube.x0 = 100.0;
+  tube.length = 50.0;
+  EXPECT_TRUE(tube.covers_x(100.0));
+  EXPECT_TRUE(tube.covers_x(149.9));
+  EXPECT_FALSE(tube.covers_x(150.0));
+  EXPECT_FALSE(tube.covers_x(99.9));
+}
+
+TEST(UncorrelatedGrowth, FieldDensityAndAngles) {
+  const UncorrelatedGrowth growth(5.0, 1000.0, worst());
+  cny::rng::Xoshiro256 rng(44);
+  const cny::geom::Rect area{0.0, 0.0, 10000.0, 10000.0};  // 100 µm²
+  const auto tubes = growth.generate_field(rng, area);
+  // Density is over the grown (expanded) region; expected count =
+  // 5 per µm² * (12 µm)² = 720.
+  EXPECT_NEAR(double(tubes.size()), 720.0, 150.0);
+  bool any_angle = false;
+  for (const auto& t : tubes) {
+    EXPECT_GE(t.angle, 0.0);
+    EXPECT_LT(t.angle, 3.1416);
+    any_angle |= t.angle > 0.1;
+  }
+  EXPECT_TRUE(any_angle);
+}
+
+TEST(DiameterModel, MomentsMatch) {
+  const DiameterModel dm;  // mean 1.5, cv 0.15
+  cny::rng::Xoshiro256 rng(45);
+  cny::stats::Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(dm.sample(rng));
+  EXPECT_NEAR(acc.mean(), 1.5, 0.01);
+  EXPECT_NEAR(acc.stddev(), 0.225, 0.01);
+}
+
+TEST(Growth, RejectsBadArguments) {
+  const PitchModel pitch(4.0, 0.9);
+  EXPECT_THROW(DirectionalGrowth(pitch, worst(), 0.0), cny::ContractViolation);
+  const DirectionalGrowth g(pitch, worst(), 1.0e5);
+  cny::rng::Xoshiro256 rng(46);
+  EXPECT_THROW(g.generate_band(rng, 5.0, 5.0, 100.0), cny::ContractViolation);
+  EXPECT_THROW(UncorrelatedGrowth(0.0, 100.0, worst()),
+               cny::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cnt/pitch_model.h"
+#include "numeric/integrate.h"
+#include "numeric/special.h"
+#include "rng/engine.h"
+#include "stats/accumulator.h"
+#include "stats/histogram.h"
+#include "util/contracts.h"
+
+namespace {
+
+using cny::cnt::PitchModel;
+
+TEST(PitchModel, ShapeScaleFromMeanCv) {
+  const PitchModel pm(4.0, 0.5);
+  EXPECT_DOUBLE_EQ(pm.shape(), 4.0);      // 1/0.25
+  EXPECT_DOUBLE_EQ(pm.scale(), 1.0);      // 4 * 0.25
+  EXPECT_DOUBLE_EQ(pm.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(pm.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(pm.density(), 0.25);
+}
+
+TEST(PitchModel, PoissonDetection) {
+  EXPECT_TRUE(PitchModel(4.0, 1.0).is_poisson());
+  EXPECT_FALSE(PitchModel(4.0, 0.9).is_poisson());
+}
+
+TEST(PitchModel, CdfIsDistribution) {
+  const PitchModel pm(4.0, 0.8);
+  EXPECT_DOUBLE_EQ(pm.cdf(0.0), 0.0);
+  EXPECT_NEAR(pm.cdf(1000.0), 1.0, 1e-12);
+  double prev = 0.0;
+  for (double s = 0.5; s < 20.0; s += 0.5) {
+    const double c = pm.cdf(s);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(PitchModel, PdfIntegratesToCdf) {
+  const PitchModel pm(4.0, 0.7);
+  for (double s : {2.0, 4.0, 8.0}) {
+    const double integral = cny::numeric::integrate_gl(
+        [&](double u) { return pm.pdf(u); }, 0.0, s, 16);
+    EXPECT_NEAR(integral, pm.cdf(s), 5e-8) << "s=" << s;
+  }
+}
+
+TEST(PitchModel, EquilibriumCdfClosedFormMatchesIntegral) {
+  // F_e(u) = (1/μ) ∫_0^u (1 - F(t)) dt; the closed form must agree with
+  // direct quadrature of the definition.
+  for (double cv : {0.5, 0.9, 1.0, 1.3}) {
+    const PitchModel pm(4.0, cv);
+    for (double u : {1.0, 4.0, 10.0, 25.0}) {
+      // The reference quadrature (not the closed form) limits accuracy
+      // here: for CV > 1 the integrand has unbounded derivative at 0.
+      const double direct = cny::numeric::integrate_gl(
+          [&](double t) { return (1.0 - pm.cdf(t)) / pm.mean(); }, 0.0, u, 96);
+      EXPECT_NEAR(pm.equilibrium_cdf(u), direct, 5e-6)
+          << "cv=" << cv << " u=" << u;
+    }
+  }
+}
+
+TEST(PitchModel, EquilibriumPdfIsDensityOfEquilibriumCdf) {
+  const PitchModel pm(4.0, 0.9);
+  for (double u : {0.5, 2.0, 6.0}) {
+    const double h = 1e-6;
+    const double d = (pm.equilibrium_cdf(u + h) - pm.equilibrium_cdf(u - h)) /
+                     (2.0 * h);
+    EXPECT_NEAR(d, pm.equilibrium_pdf(u), 1e-6);
+  }
+}
+
+TEST(PitchModel, PoissonEquilibriumIsExponential) {
+  const PitchModel pm(4.0, 1.0);
+  for (double u : {1.0, 4.0, 12.0}) {
+    EXPECT_NEAR(pm.equilibrium_cdf(u), 1.0 - std::exp(-u / 4.0), 1e-12);
+  }
+}
+
+TEST(PitchModel, UpperQuantileInvertsTail) {
+  const PitchModel pm(4.0, 0.8);
+  for (double eps : {1e-3, 1e-9, 1e-18}) {
+    const double u = pm.upper_quantile(eps);
+    // Check through the upper-tail function directly: 1 - cdf(u) cannot
+    // resolve 1e-18 in double precision, gamma_q can.
+    const double tail = cny::numeric::gamma_q(pm.shape(), u / pm.scale());
+    EXPECT_NEAR(tail / eps, 1.0, 1e-4);
+  }
+}
+
+TEST(PitchModel, SampleMomentsMatch) {
+  const PitchModel pm(4.0, 0.9);
+  cny::rng::Xoshiro256 rng(31);
+  cny::stats::Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(pm.sample(rng));
+  EXPECT_NEAR(acc.mean(), 4.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 3.6, 0.1);
+}
+
+TEST(PitchModel, EquilibriumSampleMatchesEquilibriumCdf) {
+  const PitchModel pm(4.0, 0.7);
+  cny::rng::Xoshiro256 rng(32);
+  std::vector<double> sample;
+  for (int i = 0; i < 4000; ++i) sample.push_back(pm.sample_equilibrium(rng));
+  const double d = cny::stats::ks_distance(
+      sample, [&](double u) { return pm.equilibrium_cdf(u); });
+  EXPECT_LT(d, 0.035);
+}
+
+TEST(PitchModel, PoissonEquilibriumSamplingFastPath) {
+  const PitchModel pm(4.0, 1.0);
+  cny::rng::Xoshiro256 rng(33);
+  cny::stats::Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(pm.sample_equilibrium(rng));
+  EXPECT_NEAR(acc.mean(), 4.0, 0.1);  // exponential mean
+}
+
+TEST(PitchModel, RejectsBadParameters) {
+  EXPECT_THROW(PitchModel(0.0, 1.0), cny::ContractViolation);
+  EXPECT_THROW(PitchModel(4.0, 0.0), cny::ContractViolation);
+  EXPECT_THROW(PitchModel(4.0, 0.5).upper_quantile(0.0),
+               cny::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/drive_current.h"
+#include "device/failure_model.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny::device;
+using cny::cnt::PitchModel;
+using cny::cnt::ProcessParams;
+
+FailureModel poisson_model() {
+  return FailureModel(PitchModel(4.0, 1.0), cny::cnt::fig21_worst());
+}
+
+FailureModel paper_model() {
+  return FailureModel(PitchModel(4.0, 0.9), cny::cnt::fig21_worst());
+}
+
+TEST(FailureModel, PoissonClosedFormAgreement) {
+  const auto model = poisson_model();
+  for (double w : {20.0, 60.0, 103.0, 155.0}) {
+    EXPECT_NEAR(model.p_f(w) / model.p_f_poisson_closed_form(w), 1.0, 1e-5)
+        << "w=" << w;
+  }
+}
+
+TEST(FailureModel, ClosedFormRejectedForNonPoisson) {
+  const auto model = paper_model();
+  EXPECT_THROW(model.p_f_poisson_closed_form(100.0), cny::ContractViolation);
+}
+
+TEST(FailureModel, StrictlyDecreasingInWidth) {
+  const auto model = paper_model();
+  double prev = 1.1;
+  for (double w = 20.0; w <= 180.0; w += 8.0) {
+    const double pf = model.p_f(w);
+    EXPECT_LT(pf, prev) << "w=" << w;
+    prev = pf;
+  }
+}
+
+TEST(FailureModel, OrderingAcrossProcessConditions) {
+  // Worse processing (higher p_f per CNT) → higher p_F at every width.
+  const PitchModel pitch(4.0, 0.9);
+  const FailureModel worst(pitch, cny::cnt::fig21_worst());
+  const FailureModel mid(pitch, cny::cnt::fig21_mid());
+  const FailureModel ideal(pitch, cny::cnt::fig21_ideal());
+  for (double w : {40.0, 100.0, 160.0}) {
+    EXPECT_GT(worst.p_f(w), mid.p_f(w));
+    EXPECT_GT(mid.p_f(w), ideal.p_f(w));
+  }
+}
+
+TEST(FailureModel, IdealProcessFailsOnlyByDensity) {
+  // With p_f = 0, failure requires zero CNTs in the window: p_F = P(N=0).
+  const FailureModel ideal(PitchModel(4.0, 1.0), cny::cnt::fig21_ideal());
+  for (double w : {8.0, 20.0, 40.0}) {
+    EXPECT_NEAR(ideal.p_f(w) / std::exp(-w / 4.0), 1.0, 1e-5);
+  }
+}
+
+TEST(FailureModel, ZeroWidthAlwaysFails) {
+  EXPECT_DOUBLE_EQ(paper_model().p_f(0.0), 1.0);
+}
+
+TEST(FailureModel, Fig21AnchorCalibration) {
+  // The calibrated model must place the paper's Fig 2.1 anchors within
+  // engineering tolerance: p_F(155) within [1e-9, 1e-8] (paper 3e-9), and
+  // the 350X relaxation near W ≈ 103 within ~10 nm.
+  const auto model = paper_model();
+  const double p155 = model.p_f(155.0);
+  EXPECT_GT(p155, 1.0e-9);
+  EXPECT_LT(p155, 1.0e-8);
+  const double p103 = model.p_f(103.0);
+  EXPECT_GT(p103 / p155, 200.0);
+  EXPECT_LT(p103 / p155, 900.0);
+}
+
+TEST(FailureModel, MonteCarloMatchesAnalytic) {
+  // Inflated-probability regime where direct MC resolves p_F.
+  const auto model = paper_model();
+  cny::rng::Xoshiro256 rng(91);
+  const double w = 24.0;  // p_F ~ 1e-2
+  const auto ci = model.p_f_monte_carlo(w, 40000, rng);
+  const double analytic = model.p_f(w);
+  EXPECT_TRUE(ci.contains(analytic))
+      << "analytic=" << analytic << " ci=[" << ci.lo << "," << ci.hi << "]";
+}
+
+TEST(FailureModel, MeanCount) {
+  EXPECT_DOUBLE_EQ(paper_model().mean_count(100.0), 25.0);
+}
+
+TEST(FailureModel, CacheReturnsIdenticalValues) {
+  const auto model = paper_model();
+  const double a = model.p_f(123.0);
+  const double b = model.p_f(123.0);
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------- current
+
+TEST(DriveCurrent, StatisticalAveragingOneOverSqrtN) {
+  // σ(Ion)/μ(Ion) must fall like 1/√N: quadrupling the width must halve
+  // the CV (within MC tolerance). This is the paper's Sec 1 premise.
+  const PitchModel pitch(4.0, 1.0);
+  const ProcessParams proc = cny::cnt::fig21_mid();
+  const cny::cnt::DiameterModel diam;
+  const TubeCurrentModel tube;
+  cny::rng::Xoshiro256 rng(92);
+  const auto narrow = simulate_on_current(pitch, proc, diam, tube, 80.0,
+                                          20000, rng);
+  const auto wide = simulate_on_current(pitch, proc, diam, tube, 320.0,
+                                        20000, rng);
+  EXPECT_NEAR(narrow.cv / wide.cv, 2.0, 0.25);
+}
+
+TEST(DriveCurrent, AnalyticCvMatchesSimulation) {
+  const PitchModel pitch(4.0, 0.9);
+  const ProcessParams proc = cny::cnt::fig21_worst();
+  const cny::cnt::DiameterModel diam;
+  const TubeCurrentModel tube;
+  cny::rng::Xoshiro256 rng(93);
+  for (double w : {120.0, 240.0}) {
+    const auto sim = simulate_on_current(pitch, proc, diam, tube, w, 30000,
+                                         rng);
+    const double analytic = analytic_current_cv(pitch, proc, diam, tube, w);
+    EXPECT_NEAR(sim.cv / analytic, 1.0, 0.08) << "w=" << w;
+  }
+}
+
+TEST(DriveCurrent, MeanScalesWithWidth) {
+  const PitchModel pitch(4.0, 1.0);
+  const ProcessParams proc = cny::cnt::fig21_mid();
+  const cny::cnt::DiameterModel diam;
+  const TubeCurrentModel tube;
+  cny::rng::Xoshiro256 rng(94);
+  const auto a = simulate_on_current(pitch, proc, diam, tube, 100.0, 8000,
+                                     rng);
+  const auto b = simulate_on_current(pitch, proc, diam, tube, 200.0, 8000,
+                                     rng);
+  EXPECT_NEAR(b.mean / a.mean, 2.0, 0.1);
+  EXPECT_NEAR(b.mean_count / a.mean_count, 2.0, 0.05);
+}
+
+TEST(DriveCurrent, FailedDevicesCounted) {
+  // Tiny width → frequent zero-functional-tube devices.
+  const PitchModel pitch(4.0, 1.0);
+  const ProcessParams proc = cny::cnt::fig21_worst();
+  const cny::cnt::DiameterModel diam;
+  const TubeCurrentModel tube;
+  cny::rng::Xoshiro256 rng(95);
+  const auto res = simulate_on_current(pitch, proc, diam, tube, 6.0, 5000,
+                                       rng);
+  EXPECT_GT(res.failures, 0u);
+  EXPECT_LT(res.failures, res.devices);
+}
+
+TEST(TubeCurrentModel, LinearInDiameter) {
+  const TubeCurrentModel tube{10.0};
+  EXPECT_DOUBLE_EQ(tube.current(1.5), 15.0);
+  EXPECT_DOUBLE_EQ(tube.current(-1.0), 0.0);
+}
+
+}  // namespace

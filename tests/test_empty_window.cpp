@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "yield/empty_window.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny::yield;
+using cny::geom::Interval;
+
+std::vector<Interval> equal_windows(const std::vector<double>& offsets,
+                                    double w) {
+  std::vector<Interval> out;
+  for (double y : offsets) out.push_back({y, y + w});
+  return out;
+}
+
+// ---------------------------------------------------- exact inclusion-excl
+
+TEST(PoissonUnionExact, SingleWindowClosedForm) {
+  const double lambda = 0.1, w = 30.0;
+  EXPECT_NEAR(poisson_union_exact(lambda, equal_windows({0.0}, w)),
+              std::exp(-lambda * w), 1e-15);
+}
+
+TEST(PoissonUnionExact, DuplicatesCollapse) {
+  const double lambda = 0.1, w = 30.0;
+  const auto many = equal_windows(std::vector<double>(50, 5.0), w);
+  EXPECT_NEAR(poisson_union_exact(lambda, many), std::exp(-lambda * w),
+              1e-15);
+}
+
+TEST(PoissonUnionExact, DisjointWindowsAreIndependent) {
+  // P(∪) = 1 - Π(1 - p_i) for disjoint windows.
+  const double lambda = 0.15, w = 20.0;
+  const auto windows = equal_windows({0.0, 100.0, 200.0}, w);
+  const double p1 = std::exp(-lambda * w);
+  EXPECT_NEAR(poisson_union_exact(lambda, windows),
+              1.0 - std::pow(1.0 - p1, 3.0), 1e-12);
+}
+
+TEST(PoissonUnionExact, TwoOverlappingWindowsByHand) {
+  // Windows [0,W) and [d, d+W) with overlap W-d:
+  // P(E1 ∪ E2) = 2 e^{-λW} - e^{-λ(W+d)}.
+  const double lambda = 0.2, w = 10.0, d = 4.0;
+  const auto windows = equal_windows({0.0, d}, w);
+  const double expect = 2.0 * std::exp(-lambda * w) -
+                        std::exp(-lambda * (w + d));
+  EXPECT_NEAR(poisson_union_exact(lambda, windows), expect, 1e-14);
+}
+
+TEST(PoissonUnionExact, BoundedByUnionBoundAndMax) {
+  const double lambda = 0.12, w = 25.0;
+  const auto windows = equal_windows({0.0, 5.0, 11.0, 40.0, 90.0}, w);
+  const double p = poisson_union_exact(lambda, windows);
+  const double single = std::exp(-lambda * w);
+  EXPECT_GE(p, single);                       // max of events
+  EXPECT_LE(p, 5.0 * single + 1e-15);         // union bound
+}
+
+TEST(PoissonUnionExact, MoreSpreadMeansHigherUnion) {
+  // Spreading offsets reduces overlap → more "independent chances to fail".
+  const double lambda = 0.12, w = 25.0;
+  const double tight = poisson_union_exact(
+      lambda, equal_windows({0.0, 2.0, 4.0}, w));
+  const double spread = poisson_union_exact(
+      lambda, equal_windows({0.0, 12.0, 24.0}, w));
+  EXPECT_LT(tight, spread);
+}
+
+TEST(PoissonUnionExact, RejectsTooManyDistinct) {
+  std::vector<double> offsets;
+  for (int i = 0; i < 30; ++i) offsets.push_back(i * 3.0);
+  EXPECT_THROW(poisson_union_exact(0.1, equal_windows(offsets, 20.0), 24),
+               cny::ContractViolation);
+}
+
+// ------------------------------------------------------- conditional MC
+
+TEST(UnionConditionalMc, MatchesExactOnOverlappingSet) {
+  const double lambda = 0.117;  // the paper's λ_s scale (per nm)
+  const double w = 145.0;
+  const auto windows = equal_windows({0.0, 20.0, 47.0, 60.0, 95.0}, w);
+  const double exact = poisson_union_exact(lambda, windows);
+  cny::rng::Xoshiro256 rng(101);
+  const auto mc = union_conditional_mc(lambda, windows, 40000, rng);
+  EXPECT_NEAR(mc.estimate / exact, 1.0, 0.03)
+      << "exact=" << exact << " mc=" << mc.estimate;
+  // The error estimate itself must be in the right ballpark.
+  EXPECT_LT(std::fabs(mc.estimate - exact), 6.0 * mc.std_error);
+}
+
+TEST(UnionConditionalMc, EfficientAtRareProbabilities) {
+  // p_RF ~ 1e-7 — hopeless for direct MC, routine for the conditional
+  // estimator: relative error under a few percent with 20k samples.
+  const double lambda = 0.117, w = 145.0;
+  const auto windows = equal_windows({0.0, 15.0, 33.0, 52.0, 78.0, 130.0}, w);
+  const double exact = poisson_union_exact(lambda, windows);
+  EXPECT_LT(exact, 1e-5);
+  cny::rng::Xoshiro256 rng(102);
+  const auto mc = union_conditional_mc(lambda, windows, 20000, rng);
+  EXPECT_NEAR(mc.estimate / exact, 1.0, 0.05);
+}
+
+TEST(UnionConditionalMc, IdenticalWindowsGiveExactAnswer) {
+  // All windows equal → C = n always → zero-variance estimator.
+  const double lambda = 0.1, w = 50.0;
+  const auto windows = equal_windows({5.0, 5.0, 5.0}, w);
+  cny::rng::Xoshiro256 rng(103);
+  const auto mc = union_conditional_mc(lambda, windows, 500, rng);
+  EXPECT_NEAR(mc.estimate, std::exp(-lambda * w), 1e-12);
+  EXPECT_NEAR(mc.std_error, 0.0, 1e-15);
+}
+
+TEST(UnionConditionalMc, SeedReproducible) {
+  const double lambda = 0.1, w = 40.0;
+  const auto windows = equal_windows({0.0, 10.0, 25.0}, w);
+  cny::rng::Xoshiro256 a(7), b(7);
+  const auto r1 = union_conditional_mc(lambda, windows, 2000, a);
+  const auto r2 = union_conditional_mc(lambda, windows, 2000, b);
+  EXPECT_DOUBLE_EQ(r1.estimate, r2.estimate);
+}
+
+// ------------------------------------------------------------ direct MC
+
+TEST(UnionDirectMc, AgreesWithExactAtModerateProbability) {
+  // Inflate probabilities (small windows, Poisson pitch) so direct MC works.
+  const cny::cnt::PitchModel pitch(4.0, 1.0);
+  const double p_fail = 0.531;
+  const double w = 30.0;  // P(window empty) = e^{-30/4*0.469} ≈ 3e-2
+  const auto windows = equal_windows({0.0, 8.0, 19.0}, w);
+  const double lambda_s = (1.0 - p_fail) / 4.0;
+  const double exact = poisson_union_exact(lambda_s, windows);
+  cny::rng::Xoshiro256 rng(104);
+  const auto mc = union_direct_mc(pitch, p_fail, windows, 200000, rng);
+  EXPECT_NEAR(mc.estimate / exact, 1.0, 0.08)
+      << "exact=" << exact << " direct=" << mc.estimate;
+}
+
+TEST(UnionDirectMc, RenewalVsPoissonDeviationIsVisible) {
+  // With CV = 0.6 (regular pitch) empty windows are rarer than Poisson.
+  const cny::cnt::PitchModel regular(4.0, 0.6);
+  const double p_fail = 0.531;
+  const double w = 30.0;
+  const auto windows = equal_windows({0.0}, w);
+  const double poisson_p =
+      std::exp(-(1.0 - p_fail) / 4.0 * w);
+  cny::rng::Xoshiro256 rng(105);
+  const auto mc = union_direct_mc(regular, p_fail, windows, 150000, rng);
+  EXPECT_LT(mc.estimate, poisson_p);
+}
+
+TEST(UnionEngines, InputValidation) {
+  cny::rng::Xoshiro256 rng(1);
+  EXPECT_THROW(poisson_union_exact(0.0, equal_windows({0.0}, 10.0)),
+               cny::ContractViolation);
+  EXPECT_THROW(poisson_union_exact(0.1, {}), cny::ContractViolation);
+  EXPECT_THROW(union_conditional_mc(0.1, {}, 100, rng),
+               cny::ContractViolation);
+  EXPECT_THROW(
+      union_conditional_mc(0.1, {{0.0, 0.0}}, 100, rng),  // empty interval
+      cny::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "celllib/generator.h"
+#include "experiments/fig2_1.h"
+#include "experiments/fig2_2.h"
+#include "experiments/table1.h"
+#include "experiments/table2.h"
+#include "netlist/design_generator.h"
+
+namespace {
+
+using namespace cny::experiments;
+
+// Integration tests: run the full experiment drivers and assert the
+// paper-level headlines (who wins, by roughly what factor, where the
+// crossovers fall). These are the "shape" guarantees of the reproduction.
+
+const PaperParams& params() {
+  static const PaperParams p;
+  return p;
+}
+
+TEST(Fig21, CurvesDropExponentiallyAndOrder) {
+  const auto res = run_fig2_1(params(), 20.0, 180.0, 8.0);
+  ASSERT_GT(res.curve.size(), 10u);
+  for (std::size_t i = 1; i < res.curve.size(); ++i) {
+    EXPECT_LT(res.curve[i].pf_worst, res.curve[i - 1].pf_worst);
+    EXPECT_LT(res.curve[i].pf_mid, res.curve[i].pf_worst);
+    EXPECT_LT(res.curve[i].pf_ideal, res.curve[i].pf_mid);
+  }
+}
+
+TEST(Fig21, AnchorWidthsNearPaper) {
+  const auto res = run_fig2_1(params());
+  // Paper: ~155 nm at p_F = 3e-9 and ~103 nm at 1.1e-6 (350X relaxation).
+  EXPECT_NEAR(res.w_at_3e9, 155.0, 10.0);
+  EXPECT_NEAR(res.w_at_1p1e6, 103.0, 10.0);
+  EXPECT_NEAR(res.w_at_3e9 - res.w_at_1p1e6, 52.0, 10.0);
+}
+
+TEST(Fig21, ReportRenders) {
+  const auto exp = report_fig2_1(params());
+  const std::string text = exp.render_text();
+  EXPECT_NE(text.find("fig2_1"), std::string::npos);
+  EXPECT_NE(text.find("350"), std::string::npos);
+  EXPECT_FALSE(exp.render_markdown().empty());
+}
+
+TEST(Fig22a, HistogramMatchesMminShare) {
+  const auto lib = cny::celllib::make_nangate45_like();
+  const auto design = cny::netlist::make_openrisc_like(lib);
+  const auto res = run_fig2_2a(design);
+  EXPECT_NEAR(res.frac_below_160, 0.33, 0.05);
+  EXPECT_GT(res.design_transistors, 100000u);
+  // Fractions sum to ~1 (no underflow; small overflow tail allowed).
+  double sum = 0.0;
+  for (double f : res.fraction) sum += f;
+  EXPECT_GT(sum, 0.95);
+}
+
+TEST(Fig22b, PenaltySeriesShape) {
+  const auto lib = cny::celllib::make_nangate45_like();
+  const auto design = cny::netlist::make_openrisc_like(lib);
+  const auto res = run_penalty_scaling(params(), design, 350.0);
+  ASSERT_EQ(res.without_correlation.nodes.size(), 4u);
+  // Paper Fig 3.3: the optimised flow wins at every node.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(res.with_correlation.nodes[i].penalty,
+              res.without_correlation.nodes[i].penalty);
+  }
+  // 45 nm anchors: W_min ≈ 155 vs ≈ 103.
+  EXPECT_NEAR(res.without_correlation.nodes[0].w_min, 155.0, 10.0);
+  EXPECT_NEAR(res.with_correlation.nodes[0].w_min, 103.0, 10.0);
+}
+
+TEST(Table1, ReproducesPaperRatios) {
+  const auto lib = cny::celllib::make_nangate45_like();
+  const auto design = cny::netlist::make_openrisc_like(lib);
+  const auto res = run_table1(params(), design, 0.0, 30000, 1);
+
+  EXPECT_NEAR(res.m_r_min, 360.0, 1e-9);
+  // Operating point: uncorrelated p_RF = 5.3e-6 by construction.
+  EXPECT_NEAR(res.p_rf_uncorrelated, 5.3e-6, 1e-7);
+  // Aligned column: p_RF = p_F ≈ 1.5e-8.
+  EXPECT_NEAR(res.p_rf_aligned, 1.5e-8, 2e-9);
+  // Middle column: paper 2.0e-7; synthetic library calibrated to its
+  // regime — accept 1e-7..4e-7.
+  EXPECT_GT(res.p_rf_directional, 1.0e-7);
+  EXPECT_LT(res.p_rf_directional, 4.0e-7);
+  // Gain split: paper 26.5X and 13X.
+  EXPECT_NEAR(res.gain_directional, 26.5, 8.0);
+  EXPECT_NEAR(res.gain_aligned, 13.0, 5.0);
+  // Total: ~350X (equals M_Rmin up to rounding).
+  EXPECT_NEAR(res.gain_total, 360.0, 5.0);
+}
+
+TEST(Table1, OrderingInvariant) {
+  const auto lib = cny::celllib::make_nangate45_like();
+  const auto design = cny::netlist::make_openrisc_like(lib);
+  const auto res = run_table1(params(), design, 0.0, 5000, 2);
+  EXPECT_GT(res.p_rf_uncorrelated, res.p_rf_directional);
+  EXPECT_GT(res.p_rf_directional, res.p_rf_aligned);
+}
+
+TEST(Table2, ReproducesPaperRegimes) {
+  const auto res = run_table2(params());
+
+  // Nangate-like: exactly 4 of 134 cells penalised, in the 4-14 % band.
+  EXPECT_EQ(res.nangate_one.n_cells, 134u);
+  EXPECT_EQ(res.nangate_one.cells_with_penalty, 4u);
+  EXPECT_GT(res.nangate_one.min_penalty, 0.03);
+  EXPECT_LT(res.nangate_one.max_penalty, 0.16);
+
+  // Commercial-like: ~20 % of 775 cells, penalties reaching tens of %.
+  EXPECT_EQ(res.commercial_one.n_cells, 775u);
+  EXPECT_NEAR(res.commercial_one.frac_with_penalty, 0.20, 0.06);
+  EXPECT_GT(res.commercial_one.max_penalty, 0.40);
+
+  // Two aligned rows: zero penalty, W_min pays < 5 %.
+  EXPECT_EQ(res.commercial_two.cells_with_penalty, 0u);
+  EXPECT_LT(res.commercial_two.w_min / res.commercial_one.w_min, 1.08);
+  EXPECT_GT(res.commercial_two.w_min, res.commercial_one.w_min);
+
+  // W_min anchors near the paper's 103-112 nm band.
+  EXPECT_NEAR(res.nangate_one.w_min, 103.0, 10.0);
+  EXPECT_NEAR(res.commercial_one.w_min, 107.0, 10.0);
+  EXPECT_NEAR(res.commercial_two.w_min, 112.0, 10.0);
+}
+
+TEST(Reports, AllRenderAndExportCsv) {
+  const auto dir = ::testing::TempDir();
+  for (const auto& exp :
+       {report_fig2_1(params()), report_fig2_2a(), report_fig2_2b(params()),
+        report_table1(params()), report_table2(params())}) {
+    EXPECT_FALSE(exp.render_text().empty());
+    EXPECT_FALSE(exp.render_markdown().empty());
+    const auto paths = exp.write_csv(dir);
+    EXPECT_FALSE(paths.empty());
+  }
+}
+
+}  // namespace

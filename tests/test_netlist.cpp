@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "celllib/generator.h"
+#include "netlist/design.h"
+#include "netlist/design_generator.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny::netlist;
+using cny::celllib::Library;
+
+const Library& lib45() {
+  static const Library lib = cny::celllib::make_nangate45_like();
+  return lib;
+}
+
+TEST(Design, InstanceAccounting) {
+  Design d("t", &lib45());
+  d.add_instances("INV_X1", 10);
+  d.add_instances("NAND2_X1", 5);
+  d.add_instances("INV_X1", 2);  // merges
+  EXPECT_EQ(d.n_instances(), 17u);
+  EXPECT_EQ(d.instances().size(), 2u);
+  const auto* inv = lib45().find("INV_X1");
+  const auto* nand = lib45().find("NAND2_X1");
+  EXPECT_EQ(d.n_transistors(),
+            12 * inv->transistors.size() + 5 * nand->transistors.size());
+}
+
+TEST(Design, RejectsUnknownCell) {
+  Design d("t", &lib45());
+  EXPECT_THROW(d.add_instances("NOT_A_CELL", 1), cny::ContractViolation);
+}
+
+TEST(Design, TotalWidthAndUpsizedWidth) {
+  Design d("t", &lib45());
+  d.add_instances("INV_X1", 1);
+  const auto* inv = lib45().find("INV_X1");
+  double w = 0.0, up = 0.0;
+  for (const auto& t : inv->transistors) {
+    w += t.width;
+    up += std::max(t.width, 500.0);
+  }
+  EXPECT_DOUBLE_EQ(d.total_width(), w);
+  EXPECT_DOUBLE_EQ(d.total_width_upsized(500.0), up);
+  EXPECT_GE(d.total_width_upsized(0.0), d.total_width() - 1e-9);
+}
+
+TEST(Design, CountBelowThreshold) {
+  Design d("t", &lib45());
+  d.add_instances("INV_X1", 3);
+  EXPECT_EQ(d.count_transistors_below(1e6),
+            3 * lib45().find("INV_X1")->transistors.size());
+  EXPECT_EQ(d.count_transistors_below(1.0), 0u);
+}
+
+TEST(Design, WidthSpectrumConsistentWithHistogram) {
+  const auto d = make_openrisc_like(lib45());
+  const auto spectrum = d.width_spectrum();
+  std::uint64_t total = 0;
+  for (const auto& [w, n] : spectrum) {
+    EXPECT_GT(w, 0.0);
+    total += n;
+  }
+  EXPECT_EQ(total, d.n_transistors());
+  // Spectrum is sorted ascending by width.
+  for (std::size_t i = 1; i < spectrum.size(); ++i) {
+    EXPECT_LT(spectrum[i - 1].first, spectrum[i].first);
+  }
+}
+
+TEST(Design, RetargetPreservesCounts) {
+  const auto d = make_openrisc_like(lib45());
+  const Library scaled = lib45().scaled(32.0);
+  const auto d32 = d.retarget(&scaled);
+  EXPECT_EQ(d32.n_instances(), d.n_instances());
+  EXPECT_EQ(d32.n_transistors(), d.n_transistors());
+  EXPECT_NEAR(d32.total_width(), d.total_width() * 32.0 / 45.0, 1.0);
+}
+
+TEST(DesignGenerator, HitsInstanceTarget) {
+  const auto d = generate_design("t", lib45(), 10000, {});
+  EXPECT_NEAR(double(d.n_instances()), 10000.0, 150.0);
+}
+
+TEST(DesignGenerator, MixFractionsMustSumToOne) {
+  MixParams mix;
+  mix.frac_invbuf = 0.9;  // sum now > 1
+  EXPECT_THROW(generate_design("t", lib45(), 1000, mix),
+               cny::ContractViolation);
+}
+
+TEST(DesignGenerator, Fig22aCalibration) {
+  // The calibration target of Fig 2.2a: the two left-most 80 nm bins hold
+  // ~33 % of all transistors (the paper's M_min).
+  const auto d = make_openrisc_like(lib45());
+  const auto h = d.width_histogram(80.0, 800.0);
+  const double below_160 = h.cumulative_fraction(1);
+  EXPECT_GT(below_160, 0.28);
+  EXPECT_LT(below_160, 0.40);
+  // Nothing below the library minimum.
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 0.0);
+}
+
+TEST(DesignGenerator, DeterministicOutput) {
+  const auto a = make_openrisc_like(lib45());
+  const auto b = make_openrisc_like(lib45());
+  EXPECT_EQ(a.n_instances(), b.n_instances());
+  EXPECT_EQ(a.n_transistors(), b.n_transistors());
+  EXPECT_DOUBLE_EQ(a.total_width(), b.total_width());
+}
+
+TEST(DesignGenerator, ContainsExpectedCellClasses) {
+  const auto d = make_openrisc_like(lib45());
+  bool has_inv = false, has_seq = false, has_complex = false, has_buf8 = false;
+  for (const auto& ic : d.instances()) {
+    const auto* cell = lib45().find(ic.cell_name);
+    if (cell->family == "INV") has_inv = true;
+    if (cell->kind == cny::celllib::CellKind::Sequential) has_seq = true;
+    if (cell->family == "AOI222") has_complex = true;
+    if (cell->kind == cny::celllib::CellKind::Buffer && cell->drive >= 8) {
+      has_buf8 = true;
+    }
+  }
+  EXPECT_TRUE(has_inv);
+  EXPECT_TRUE(has_seq);
+  EXPECT_TRUE(has_complex);
+  EXPECT_TRUE(has_buf8);
+}
+
+TEST(DesignGenerator, WorksOnCommercialLibrary) {
+  const auto lib = cny::celllib::make_commercial65_like();
+  const auto d = generate_design("c65", lib, 20000, {});
+  EXPECT_GT(d.n_transistors(), 100000u);
+  EXPECT_GT(d.count_transistors_below(107.0), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "celllib/generator.h"
+#include "netlist/design_generator.h"
+#include "power/penalty.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny::power;
+using cny::yield::WidthSpectrum;
+using cny::yield::WminRequest;
+
+cny::device::FailureModel paper_model() {
+  return cny::device::FailureModel(cny::cnt::PitchModel(4.0, 0.9),
+                                   cny::cnt::fig21_worst());
+}
+
+TEST(Penalty, HandComputedExample) {
+  // Two devices at 50 and 150; upsizing to 100 raises only the first.
+  const WidthSpectrum s = {{50.0, 1}, {150.0, 1}};
+  EXPECT_NEAR(upsizing_penalty(s, 100.0), 50.0 / 200.0, 1e-12);
+  EXPECT_DOUBLE_EQ(upsizing_penalty(s, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(upsizing_penalty(s, 40.0), 0.0);
+}
+
+TEST(Penalty, MonotoneInWmin) {
+  const WidthSpectrum s = {{60.0, 3}, {120.0, 2}, {400.0, 1}};
+  double prev = -1.0;
+  for (double w = 0.0; w <= 500.0; w += 25.0) {
+    const double p = upsizing_penalty(s, w);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Penalty, WeightsByMultiplicity) {
+  const WidthSpectrum a = {{50.0, 1}, {100.0, 1}};
+  const WidthSpectrum b = {{50.0, 10}, {100.0, 1}};
+  EXPECT_GT(upsizing_penalty(b, 100.0), upsizing_penalty(a, 100.0));
+}
+
+TEST(ScalingStudy, PenaltyGrowsAsNodesShrink) {
+  // Fig 2.2b's headline: the upsizing penalty increases significantly as
+  // technology scales down (pitch fixed at 4 nm).
+  const auto lib = cny::celllib::make_nangate45_like();
+  const auto design = cny::netlist::make_openrisc_like(lib);
+  auto spectrum = design.width_spectrum();
+  spectrum = cny::yield::scale_spectrum(
+      spectrum, 1.0, 1e8 / double(design.n_transistors()));
+  const auto model = paper_model();
+  WminRequest req;
+  req.yield_desired = 0.90;
+  const auto study =
+      scaling_study(spectrum, model, req, {45.0, 32.0, 22.0, 16.0});
+  ASSERT_EQ(study.nodes.size(), 4u);
+  for (std::size_t i = 1; i < study.nodes.size(); ++i) {
+    EXPECT_GT(study.nodes[i].penalty, study.nodes[i - 1].penalty);
+  }
+  // Paper regime: modest at 45 nm, ~100 % by 16 nm.
+  EXPECT_LT(study.nodes[0].penalty, 0.15);
+  EXPECT_GT(study.nodes[3].penalty, 0.80);
+}
+
+TEST(ScalingStudy, CorrelationCollapsesPenalty) {
+  // Fig 3.3's headline: with the 350X relaxation the 45 nm penalty is
+  // almost completely eliminated and every node improves.
+  const auto lib = cny::celllib::make_nangate45_like();
+  const auto design = cny::netlist::make_openrisc_like(lib);
+  auto spectrum = design.width_spectrum();
+  spectrum = cny::yield::scale_spectrum(
+      spectrum, 1.0, 1e8 / double(design.n_transistors()));
+  const auto model = paper_model();
+  WminRequest without;
+  without.yield_desired = 0.90;
+  WminRequest with = without;
+  with.relaxation = 350.0;
+  const auto base =
+      scaling_study(spectrum, model, without, {45.0, 32.0, 22.0, 16.0});
+  const auto opt =
+      scaling_study(spectrum, model, with, {45.0, 32.0, 22.0, 16.0});
+  for (std::size_t i = 0; i < base.nodes.size(); ++i) {
+    EXPECT_LT(opt.nodes[i].penalty, base.nodes[i].penalty);
+    EXPECT_LT(opt.nodes[i].w_min, base.nodes[i].w_min);
+  }
+  EXPECT_LT(opt.nodes[0].penalty, 0.02);  // "almost completely eliminated"
+}
+
+TEST(ScalingStudy, WminNearlyNodeIndependent) {
+  // The p_F(W) curve does not scale with the node (pitch fixed), so W_min
+  // moves only through the M_min recount — within ~15 % across nodes.
+  const auto lib = cny::celllib::make_nangate45_like();
+  const auto design = cny::netlist::make_openrisc_like(lib);
+  auto spectrum = design.width_spectrum();
+  spectrum = cny::yield::scale_spectrum(
+      spectrum, 1.0, 1e8 / double(design.n_transistors()));
+  WminRequest req;
+  const auto study = scaling_study(spectrum, paper_model(), req,
+                                   {45.0, 32.0, 22.0, 16.0});
+  const double w45 = study.nodes.front().w_min;
+  for (const auto& n : study.nodes) {
+    EXPECT_NEAR(n.w_min / w45, 1.0, 0.15);
+  }
+}
+
+TEST(Penalty, InputValidation) {
+  EXPECT_THROW(upsizing_penalty({}, 10.0), cny::ContractViolation);
+  EXPECT_THROW(upsizing_penalty({{0.0, 1}}, 10.0), cny::ContractViolation);
+  EXPECT_THROW(upsizing_penalty({{10.0, 1}}, -1.0), cny::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Property-based sweeps (parameterized gtest) over the model invariants the
+// paper's argument rests on. Each suite sweeps a parameter grid and checks a
+// structural property, not a specific number.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cnt/count_distribution.h"
+#include "device/failure_model.h"
+#include "yield/circuit_yield.h"
+#include "yield/empty_window.h"
+#include "yield/row_model.h"
+#include "yield/wmin_solver.h"
+
+namespace {
+
+using cny::cnt::CountDistribution;
+using cny::cnt::PitchModel;
+using cny::cnt::ProcessParams;
+using cny::device::FailureModel;
+
+// ---------------------------------------------------------------------
+// Property: p_F(W) is strictly decreasing in W and increasing in p_f, for
+// every pitch CV — the foundation of both Fig 2.1 and the W_min procedure.
+
+struct PfParams {
+  double cv;
+  double pm;
+  double prs;
+};
+
+class PfMonotonicity : public ::testing::TestWithParam<PfParams> {};
+
+TEST_P(PfMonotonicity, DecreasingInWidth) {
+  const auto [cv, pm, prs] = GetParam();
+  const FailureModel model(PitchModel(4.0, cv),
+                           ProcessParams{pm, 1.0, prs});
+  double prev = 1.0 + 1e-9;
+  for (double w = 8.0; w <= 160.0; w += 16.0) {
+    const double pf = model.p_f(w);
+    EXPECT_LT(pf, prev) << "cv=" << cv << " w=" << w;
+    EXPECT_GT(pf, 0.0);
+    prev = pf;
+  }
+}
+
+TEST_P(PfMonotonicity, WorsePerCntFailureRaisesDevicePf) {
+  const auto [cv, pm, prs] = GetParam();
+  const PitchModel pitch(4.0, cv);
+  const FailureModel base(pitch, ProcessParams{pm, 1.0, prs});
+  const FailureModel worse(pitch, ProcessParams{std::min(1.0, pm + 0.1), 1.0,
+                                                prs});
+  for (double w : {40.0, 100.0}) {
+    EXPECT_GT(worse.p_f(w), base.p_f(w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, PfMonotonicity,
+    ::testing::Values(PfParams{0.6, 0.33, 0.30}, PfParams{0.8, 0.33, 0.30},
+                      PfParams{0.9, 0.33, 0.00}, PfParams{1.0, 0.33, 0.30},
+                      PfParams{1.2, 0.10, 0.10}, PfParams{0.9, 0.05, 0.00}));
+
+// ---------------------------------------------------------------------
+// Property: the count distribution is a genuine distribution with the
+// stationary-renewal mean for any (CV, W).
+
+class CountDistributionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CountDistributionSweep, MassAndMean) {
+  const auto [cv, w] = GetParam();
+  const CountDistribution d(PitchModel(4.0, cv), w);
+  double sum = 0.0;
+  for (long n = 0; n <= d.max_n(); ++n) {
+    EXPECT_GE(d.pmf(n), 0.0);
+    sum += d.pmf(n);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_NEAR(d.mean(), w / 4.0, 1e-5);
+}
+
+TEST_P(CountDistributionSweep, PgfMonotoneInZ) {
+  const auto [cv, w] = GetParam();
+  const CountDistribution d(PitchModel(4.0, cv), w);
+  double prev = d.pgf(0.0);
+  for (double z = 0.1; z <= 1.0; z += 0.1) {
+    const double g = d.pgf(z);
+    EXPECT_GE(g, prev - 1e-15);
+    prev = g;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, CountDistributionSweep,
+    ::testing::Combine(::testing::Values(0.6, 0.9, 1.0, 1.3),
+                       ::testing::Values(12.0, 60.0, 155.0)),
+    [](const auto& info) {
+      return "cv" + std::to_string(int(std::get<0>(info.param) * 10)) + "_w" +
+             std::to_string(int(std::get<1>(info.param)));
+    });
+
+// ---------------------------------------------------------------------
+// Property: correlation never hurts — for any window set, the union
+// probability is at most the independent-failure probability of the same
+// number of windows, and at least the single-window probability.
+
+class UnionBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnionBounds, SqueezedBetweenAlignedAndIndependent) {
+  const double spread = GetParam();
+  const double lambda = 0.117, w = 145.0;
+  std::vector<cny::geom::Interval> windows;
+  for (int i = 0; i < 12; ++i) {
+    const double y = spread * i / 11.0;
+    windows.push_back({y, y + w});
+  }
+  const double p1 = std::exp(-lambda * w);
+  const double p_union = cny::yield::poisson_union_exact(lambda, windows);
+  const double p_indep = 1.0 - std::pow(1.0 - p1, 12.0);
+  EXPECT_GE(p_union, p1 * (1.0 - 1e-7));
+  EXPECT_LE(p_union, p_indep * (1.0 + 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(SpreadSweep, UnionBounds,
+                         ::testing::Values(0.0, 10.0, 40.0, 100.0, 300.0,
+                                           2000.0));
+
+TEST(UnionBounds, ConvergesToIndependentAtLargeSpread) {
+  const double lambda = 0.117, w = 145.0;
+  std::vector<cny::geom::Interval> windows;
+  for (int i = 0; i < 10; ++i) {
+    const double y = 10000.0 * i;  // far beyond any overlap
+    windows.push_back({y, y + w});
+  }
+  const double p1 = std::exp(-lambda * w);
+  const double p_union = cny::yield::poisson_union_exact(lambda, windows);
+  EXPECT_NEAR(p_union / (1.0 - std::pow(1.0 - p1, 10.0)), 1.0, 1e-7);
+}
+
+// ---------------------------------------------------------------------
+// Property: W_min responds monotonically to every requirement knob.
+
+TEST(WminProperties, MonotoneInYieldTarget) {
+  const FailureModel model(PitchModel(4.0, 0.9), cny::cnt::fig21_worst());
+  const cny::yield::WidthSpectrum s = {{100.0, 33000000},
+                                       {300.0, 67000000}};
+  double prev = 0.0;
+  for (double y : {0.5, 0.8, 0.9, 0.99}) {
+    cny::yield::WminRequest req;
+    req.yield_desired = y;
+    req.fixed_m_min = 33000000;
+    const auto res = cny::yield::solve_w_min(s, model, req);
+    EXPECT_GT(res.w_min, prev) << "yield=" << y;
+    prev = res.w_min;
+  }
+}
+
+TEST(WminProperties, MonotoneInRelaxation) {
+  const FailureModel model(PitchModel(4.0, 0.9), cny::cnt::fig21_worst());
+  const cny::yield::WidthSpectrum s = {{100.0, 33000000},
+                                       {300.0, 67000000}};
+  double prev = 1e9;
+  for (double r : {1.0, 10.0, 100.0, 350.0}) {
+    cny::yield::WminRequest req;
+    req.relaxation = r;
+    req.fixed_m_min = 33000000;
+    const auto res = cny::yield::solve_w_min(s, model, req);
+    EXPECT_LT(res.w_min, prev) << "relax=" << r;
+    prev = res.w_min;
+  }
+}
+
+TEST(WminProperties, MonotoneInMmin) {
+  const FailureModel model(PitchModel(4.0, 0.9), cny::cnt::fig21_worst());
+  const cny::yield::WidthSpectrum s = {{100.0, 100000000}};
+  double prev = 0.0;
+  for (std::uint64_t m : {std::uint64_t(1e5), std::uint64_t(1e6),
+                          std::uint64_t(1e7), std::uint64_t(1e8)}) {
+    cny::yield::WminRequest req;
+    req.fixed_m_min = m;
+    const auto res = cny::yield::solve_w_min(s, model, req);
+    EXPECT_GT(res.w_min, prev) << "m=" << m;
+    prev = res.w_min;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property: eq. 3.1's factorisation — chip failure budget splits across
+// rows consistently for any (p_f, density) combination.
+
+class RowModelSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RowModelSweep, RelaxationBoundedByMRmin) {
+  const auto [pf, density] = GetParam();
+  cny::yield::RowParams p;
+  p.l_cnt = 200.0e3;
+  p.fets_per_um = density;
+  p.m_min = 1000000;
+  const double mr = cny::yield::m_r_min(p);
+  // Full sharing earns at most M_Rmin relaxation (paper Sec 3.1).
+  const double gain = cny::yield::relaxation_factor(
+      cny::yield::p_rf_aligned(pf), pf, p);
+  EXPECT_LE(gain, mr * (1.0 + 1e-9));
+  EXPECT_GT(gain, mr * 0.9);  // tight for small p_f
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, RowModelSweep,
+    ::testing::Combine(::testing::Values(1e-9, 1e-7, 1e-5),
+                       ::testing::Values(0.5, 1.8, 4.0)));
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Randomised property sweeps: the rare-event union engines and the yield
+// pipeline checked against each other on randomly generated configurations
+// (parameterized over seeds, so failures are reproducible by seed).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/interval.h"
+#include "rng/engine.h"
+#include "yield/empty_window.h"
+#include "yield/length_variation.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny;
+
+std::vector<geom::Interval> random_windows(rng::Xoshiro256& rng, int max_n,
+                                           double w, double spread) {
+  const int n = 2 + static_cast<int>(rng.uniform_index(
+                        static_cast<std::uint64_t>(max_n - 1)));
+  std::vector<geom::Interval> out;
+  for (int i = 0; i < n; ++i) {
+    const double y = rng.uniform(0.0, spread);
+    out.push_back({y, y + w});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Property: conditional MC is an unbiased estimator of the exact
+// inclusion–exclusion union probability, for arbitrary window sets.
+
+class RandomUnionConfig : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomUnionConfig, ConditionalMcMatchesExact) {
+  rng::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  const double lambda = rng.uniform(0.05, 0.2);
+  const double w = rng.uniform(60.0, 200.0);
+  const auto windows = random_windows(rng, 12, w, rng.uniform(50.0, 400.0));
+  const double exact = yield::poisson_union_exact(lambda, windows);
+  const auto mc = yield::union_conditional_mc(lambda, windows, 30000, rng);
+  // 6-sigma agreement plus a small floor for near-zero-variance configs.
+  EXPECT_NEAR(mc.estimate, exact, 6.0 * mc.std_error + 1e-3 * exact)
+      << "lambda=" << lambda << " w=" << w << " n=" << windows.size();
+}
+
+TEST_P(RandomUnionConfig, UnionBoundsAlwaysHold) {
+  rng::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const double lambda = rng.uniform(0.05, 0.2);
+  const double w = rng.uniform(60.0, 200.0);
+  const auto windows = random_windows(rng, 14, w, rng.uniform(0.0, 600.0));
+  const double exact = yield::poisson_union_exact(lambda, windows);
+  const double p1 = std::exp(-lambda * w);
+  EXPECT_GE(exact, p1 * (1.0 - 1e-9));
+  EXPECT_LE(exact, windows.size() * p1 * (1.0 + 1e-9));
+  // And monotone under adding a window.
+  auto more = windows;
+  more.push_back({250.0, 250.0 + w});
+  EXPECT_GE(yield::poisson_union_exact(lambda, more), exact * (1.0 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomUnionConfig,
+                         ::testing::Range(1, 17));  // 16 random configs
+
+// ---------------------------------------------------------------------
+// Property: the finite-length analytic model agrees with its own direct
+// simulation on random device sets (inflated probability regime).
+
+class RandomFiniteLength : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFiniteLength, AnalyticMatchesSimulation) {
+  rng::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 5000);
+  const double lambda = 0.117;
+  const double w = rng.uniform(25.0, 40.0);  // keeps p_RF ~ 1e-2
+  const int n = 3 + static_cast<int>(rng.uniform_index(5));
+  std::vector<double> pos;
+  for (int i = 0; i < n; ++i) pos.push_back(rng.uniform(0.0, 2000.0));
+  const yield::LengthModel length{rng.uniform(300.0, 1500.0), 0.0};
+  const double analytic =
+      yield::p_rf_finite_length(lambda, w, pos, length);
+  const auto mc =
+      yield::p_rf_finite_length_mc(lambda, w, pos, length, 40000, rng);
+  EXPECT_NEAR(mc.estimate, analytic, 6.0 * mc.std_error + 0.02 * analytic)
+      << "w=" << w << " n=" << n << " L=" << length.mean;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFiniteLength, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------
+// Property: for any window set, the union probability interpolates between
+// its aligned collapse (all offsets equal) and independence (offsets far
+// apart), under scaling of the offset spread.
+
+class SpreadScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpreadScaling, UnionMonotoneInSpread) {
+  rng::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 9000);
+  const double lambda = 0.117;
+  const double w = 145.0;
+  std::vector<double> base;
+  for (int i = 0; i < 8; ++i) base.push_back(rng.uniform(0.0, 1.0));
+  double prev = 0.0;
+  for (double scale : {0.0, 30.0, 100.0, 400.0, 3000.0}) {
+    std::vector<geom::Interval> windows;
+    for (double b : base) windows.push_back({b * scale, b * scale + w});
+    const double p = yield::poisson_union_exact(lambda, windows);
+    EXPECT_GE(p, prev * (1.0 - 1e-9)) << "scale=" << scale;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpreadScaling, ::testing::Range(1, 9));
+
+}  // namespace

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/engine.h"
+#include "stats/accumulator.h"
+#include "stats/bootstrap.h"
+#include "stats/histogram.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace cny::stats;
+
+TEST(Accumulator, MeanVarianceMinMax) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.sum(), 40.0, 1e-9);
+}
+
+TEST(Accumulator, EmptyAndSingle) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.std_error(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 3.0 + i * 0.01;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Interval, ContainsAndWidth) {
+  const Interval iv{1.0, 3.0};
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_FALSE(iv.contains(3.5));
+  EXPECT_DOUBLE_EQ(iv.width(), 2.0);
+}
+
+TEST(WilsonCi, CoversTrueProportion) {
+  // Frequentist sanity: the interval for 30/100 must contain 0.3.
+  const auto ci = wilson_ci(30, 100);
+  EXPECT_TRUE(ci.contains(0.3));
+  EXPECT_GT(ci.lo, 0.2);
+  EXPECT_LT(ci.hi, 0.42);
+}
+
+TEST(WilsonCi, ExtremesStayInUnitInterval) {
+  const auto zero = wilson_ci(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto all = wilson_ci(50, 50);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+TEST(WilsonCi, RejectsBadInputs) {
+  EXPECT_THROW(wilson_ci(5, 0), cny::ContractViolation);
+  EXPECT_THROW(wilson_ci(6, 5), cny::ContractViolation);
+}
+
+TEST(Histogram, BinningAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(3.5);
+  h.add(-1.0);   // underflow
+  h.add(10.0);   // overflow (hi is exclusive)
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.4);
+  // cumulative includes underflow.
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 0.8);
+}
+
+TEST(Histogram, WeightedSamples) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0, 3.0);
+  h.add(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+  EXPECT_DOUBLE_EQ(h.bin_centre(1), 13.75);
+}
+
+TEST(Histogram, AsciiRenderingNonEmpty) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(KsDistance, UniformSampleAgainstUniformCdf) {
+  cny::rng::Xoshiro256 rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 5000; ++i) sample.push_back(rng.uniform());
+  const double d = ks_distance(sample, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  // KS distance for n=5000 should be well under 0.03 at ~99.9 % confidence.
+  EXPECT_LT(d, 0.03);
+}
+
+TEST(KsDistance, DetectsWrongDistribution) {
+  cny::rng::Xoshiro256 rng(6);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.uniform() * 0.5);
+  const double d = ks_distance(sample, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  EXPECT_GT(d, 0.4);
+}
+
+TEST(Bootstrap, MeanCiCoversTruth) {
+  cny::rng::Xoshiro256 rng(7);
+  std::vector<double> data;
+  for (int i = 0; i < 400; ++i) data.push_back(rng.uniform(0.0, 2.0));
+  const auto ci = bootstrap_mean_ci(data, rng, 2000);
+  EXPECT_TRUE(ci.contains(1.0)) << "[" << ci.lo << ", " << ci.hi << "]";
+  EXPECT_LT(ci.width(), 0.3);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  cny::rng::Xoshiro256 rng(8);
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 100.0};
+  const auto ci = bootstrap_ci(
+      data,
+      [](const std::vector<double>& v) {
+        double mx = v[0];
+        for (double x : v) mx = std::max(mx, x);
+        return mx;
+      },
+      rng, 500);
+  EXPECT_LE(ci.hi, 100.0 + 1e-12);
+  EXPECT_GE(ci.hi, 4.0);
+}
+
+TEST(Bootstrap, RejectsDegenerateInputs) {
+  cny::rng::Xoshiro256 rng(9);
+  EXPECT_THROW(bootstrap_mean_ci({}, rng), cny::ContractViolation);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, rng, 5), cny::ContractViolation);
+}
+
+}  // namespace

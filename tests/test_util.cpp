@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/contracts.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cny::util;
+
+TEST(Contracts, ExpectThrowsWithContext) {
+  try {
+    CNY_EXPECT_MSG(false, "ctx");
+    FAIL() << "should have thrown";
+  } catch (const cny::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("ctx"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsureThrowsPostcondition) {
+  EXPECT_THROW(CNY_ENSURE(1 == 2), cny::ContractViolation);
+  EXPECT_NO_THROW(CNY_ENSURE(1 == 1));
+}
+
+TEST(Strings, TrimRemovesAllWhitespaceKinds) {
+  EXPECT_EQ(trim("  a b \t\r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitPreservesEmptyTokens) {
+  const auto parts = split("a, b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitWsDropsEmptyTokens) {
+  const auto parts = split_ws("  alpha\tbeta \n gamma ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("library x", "library"));
+  EXPECT_FALSE(starts_with("lib", "library"));
+}
+
+TEST(Strings, FormatSigDigits) {
+  EXPECT_EQ(format_sig(1234.5678, 3), "1.23e+03");
+  EXPECT_EQ(format_sig(0.000123456, 3), "0.000123");
+}
+
+TEST(Strings, FormatProbSwitchesToScientific) {
+  EXPECT_EQ(format_prob(5.3e-6), "5.3e-06");
+  EXPECT_EQ(format_prob(0.25), "0.2500");
+}
+
+TEST(Strings, FormatPct) { EXPECT_EQ(format_pct(0.125), "12.5%"); }
+
+TEST(Strings, ParseDoubleAcceptsScientific) {
+  EXPECT_DOUBLE_EQ(parse_double(" 1.5e-3 "), 1.5e-3);
+  EXPECT_THROW(parse_double("abc"), cny::ContractViolation);
+  EXPECT_THROW(parse_double("1.5x"), cny::ContractViolation);
+  EXPECT_THROW(parse_double(""), cny::ContractViolation);
+}
+
+TEST(Strings, ParseLong) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long("-3"), -3);
+  EXPECT_THROW(parse_long("4.2"), cny::ContractViolation);
+}
+
+TEST(Table, TextRenderingAlignsColumns) {
+  Table t("Title");
+  t.header({"a", "bbbb"});
+  t.row({"xx", "y"});
+  const std::string out = t.to_text();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table t;
+  t.header({"a", "b"}).row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t;
+  t.header({"x"}).row({"a,b"}).row({"he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumUsesSignificantDigits) {
+  Table t;
+  t.header({"v"});
+  t.begin_row().num(3.14159, 3);
+  EXPECT_EQ(t.rows()[0][0], "3.14");
+}
+
+TEST(Table, RaggedRowsPadOnRender) {
+  Table t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  EXPECT_EQ(t.n_cols(), 3u);
+  EXPECT_NO_THROW(t.to_text());
+}
+
+TEST(Cli, ParsesAllFlagForms) {
+  // Note: a bare value after a bare flag binds to the flag, so positional
+  // arguments come before flags or after --name=value forms.
+  const char* argv[] = {"prog", "pos", "--a=1", "--b", "2", "--flag"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get("a", ""), "1");
+  EXPECT_EQ(cli.get("b", ""), "2");
+  EXPECT_TRUE(cli.has("flag"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, TypedGettersWithFallback) {
+  const char* argv[] = {"prog", "--x=2.5"};
+  Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 7.0), 7.0);
+  EXPECT_EQ(cli.get_long("missing", 9), 9);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// cntyield_cli — the command-line front end a downstream user drives the
+// library with. Subcommands map 1:1 onto the analyses in the paper:
+//
+//   cntyield_cli pf      [--w=155] [--pm=0.33] [--prs=0.30] [--cv=0.9]
+//   cntyield_cli wmin    [--lib=FILE] [--design=FILE] [--yield=0.90]
+//                        [--relaxation=1] [--chip-m=1e8]
+//   cntyield_cli scaling [--relaxation=350] (Fig 2.2b / 3.3 series)
+//   cntyield_cli table1  / table2            (paper tables)
+//   cntyield_cli align   [--lib=FILE] [--wmin=103] [--rows=1] [--out=FILE]
+//   cntyield_cli gen-lib [--which=nangate45|commercial65] --out=FILE
+//   cntyield_cli gen-design --lib=FILE --out=FILE [--instances=50000]
+//
+// Without --lib/--design the built-in synthetic nangate45_like library and
+// OpenRISC-like design are used, so every subcommand runs out of the box.
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "celllib/generator.h"
+#include "celllib/liberty_lite.h"
+#include "experiments/fig2_1.h"
+#include "experiments/fig2_2.h"
+#include "experiments/table1.h"
+#include "experiments/table2.h"
+#include "layout/aligned_active.h"
+#include "netlist/design_generator.h"
+#include "netlist/design_io.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace cny;
+
+celllib::Library resolve_library(const util::Cli& cli) {
+  if (cli.has("lib")) {
+    return celllib::load_liberty_lite(cli.get("lib", ""));
+  }
+  return celllib::make_nangate45_like();
+}
+
+netlist::Design resolve_design(const util::Cli& cli,
+                               const celllib::Library& lib) {
+  if (cli.has("design")) {
+    return netlist::load_design(cli.get("design", ""), lib);
+  }
+  return netlist::make_openrisc_like(lib);
+}
+
+int cmd_pf(const util::Cli& cli) {
+  cnt::ProcessParams process;
+  process.p_metallic = cli.get_double("pm", 0.33);
+  process.p_remove_s = cli.get_double("prs", 0.30);
+  const device::FailureModel model(
+      cnt::PitchModel(4.0, cli.get_double("cv", 0.9)), process);
+  const double w = cli.get_double("w", 155.0);
+  std::printf("p_f per CNT = %.4f\np_F(%.1f nm) = %.4e\n", process.p_fail(),
+              w, model.p_f(w));
+  return 0;
+}
+
+int cmd_wmin(const util::Cli& cli) {
+  const auto lib = resolve_library(cli);
+  const auto design = resolve_design(cli, lib);
+  cnt::ProcessParams process;
+  process.p_metallic = cli.get_double("pm", 0.33);
+  process.p_remove_s = cli.get_double("prs", 0.30);
+  const device::FailureModel model(
+      cnt::PitchModel(4.0, cli.get_double("cv", 0.9)), process);
+
+  auto spectrum = design.width_spectrum();
+  const double chip_m = cli.get_double("chip-m", 1e8);
+  spectrum = yield::scale_spectrum(
+      spectrum, 1.0, chip_m / double(design.n_transistors()));
+
+  yield::WminRequest req;
+  req.yield_desired = cli.get_double("yield", 0.90);
+  req.relaxation = cli.get_double("relaxation", 1.0);
+  const auto res = yield::solve_w_min(spectrum, model, req);
+  std::printf("design %s on %s (scaled to M = %.3g)\n", design.name().c_str(),
+              lib.name().c_str(), chip_m);
+  std::printf("W_min = %.2f nm  (p_F* = %.3e, M_min = %llu, %d iterations)\n",
+              res.w_min, res.p_f_target,
+              static_cast<unsigned long long>(res.m_min), res.iterations);
+  std::printf("verification: chip yield at W_min = %.4f\n",
+              res.verification.yield_exact);
+  return 0;
+}
+
+int cmd_align(const util::Cli& cli) {
+  const auto lib = resolve_library(cli);
+  layout::AlignOptions options;
+  options.w_min = cli.get_double("wmin", 103.0);
+  options.rows_per_polarity = static_cast<int>(cli.get_long("rows", 1));
+  const double spacing =
+      cli.get_double("spacing", lib.node_nm() >= 60.0 ? 200.0 : 140.0);
+  const auto res = layout::align_active(lib, options, spacing);
+  std::printf("%zu of %zu cells widened (%.1f%% - %.1f%%), area +%.2f%%\n",
+              res.cells_with_penalty(), lib.size(),
+              100.0 * res.min_penalty(), 100.0 * res.max_penalty(),
+              100.0 * res.area_increase());
+  if (cli.has("out")) {
+    celllib::save_liberty_lite(res.library, cli.get("out", ""));
+    std::printf("wrote %s\n", cli.get("out", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_gen_lib(const util::Cli& cli) {
+  const std::string which = cli.get("which", "nangate45");
+  const auto lib = which == "commercial65" ? celllib::make_commercial65_like()
+                                           : celllib::make_nangate45_like();
+  const std::string out = cli.get("out", lib.name() + ".lib");
+  celllib::save_liberty_lite(lib, out);
+  std::printf("wrote %s (%zu cells)\n", out.c_str(), lib.size());
+  return 0;
+}
+
+int cmd_gen_design(const util::Cli& cli) {
+  const auto lib = resolve_library(cli);
+  const auto design = netlist::generate_design(
+      "generated", lib,
+      static_cast<std::uint64_t>(cli.get_long("instances", 50000)), {});
+  const std::string out = cli.get("out", "design.txt");
+  netlist::save_design(design, out);
+  std::printf("wrote %s (%llu instances, %llu transistors)\n", out.c_str(),
+              static_cast<unsigned long long>(design.n_instances()),
+              static_cast<unsigned long long>(design.n_transistors()));
+  return 0;
+}
+
+int usage() {
+  std::puts(
+      "usage: cntyield_cli <pf|wmin|scaling|table1|table2|align|gen-lib|"
+      "gen-design> [flags]\n  see the header of tools/cntyield_cli.cpp for "
+      "per-command flags");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.positional().empty()) return usage();
+  const std::string cmd = cli.positional().front();
+  const experiments::PaperParams params;
+  try {
+    if (cmd == "pf") return cmd_pf(cli);
+    if (cmd == "wmin") return cmd_wmin(cli);
+    if (cmd == "align") return cmd_align(cli);
+    if (cmd == "gen-lib") return cmd_gen_lib(cli);
+    if (cmd == "gen-design") return cmd_gen_design(cli);
+    if (cmd == "scaling") {
+      std::cout << experiments::report_fig3_3(
+                       params, cli.get_double("relaxation", 350.0))
+                       .render_text();
+      return 0;
+    }
+    if (cmd == "table1") {
+      std::cout << experiments::report_table1(params).render_text();
+      return 0;
+    }
+    if (cmd == "table2") {
+      std::cout << experiments::report_table2(params).render_text();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,74 @@
+// Regenerates EXPERIMENTS.md from the live experiment drivers, so the
+// paper-vs-measured record in the repository is always reproducible:
+//
+//   ./regenerate_experiments > ../EXPERIMENTS.md
+//
+// (Table 1's middle column uses a fixed seed; every number in the file is
+// deterministic.)
+#include <iostream>
+
+#include "experiments/fig2_1.h"
+#include "experiments/fig2_2.h"
+#include "experiments/flow_summary.h"
+#include "experiments/table1.h"
+#include "experiments/table2.h"
+
+int main() {
+  using namespace cny::experiments;
+  const PaperParams params;
+
+  std::cout <<
+      "# EXPERIMENTS — paper vs measured\n"
+      "\n"
+      "Reproduction record for *Carbon Nanotube Correlation: Promising\n"
+      "Opportunity for CNFET Circuit Yield Enhancement* (Zhang et al., DAC\n"
+      "2010). Regenerate with `build/tools/regenerate_experiments >\n"
+      "EXPERIMENTS.md`; the same tables print from the per-figure bench\n"
+      "binaries (`build/bench/bench_*`).\n"
+      "\n"
+      "## Calibration\n"
+      "\n"
+      "Three constants are calibrated because the paper references them to\n"
+      "external artefacts we reproduce synthetically (full substitution\n"
+      "table in DESIGN.md):\n"
+      "\n"
+      "| constant | value | calibration target |\n"
+      "|---|---|---|\n"
+      "| inter-CNT pitch CV (σ_S/μ_S) | 0.9 | Fig 2.1 anchors: p_F(155 nm) ≈ 3e-9 and the ~350X decade spacing; the paper keeps the [Zhang 09a] ratio but does not print it |\n"
+      "| design mix (`netlist::MixParams`) | seq 10 %, drive decay 0.65 | Fig 2.2a: two left-most 80 nm bins hold ~33 % of transistors |\n"
+      "| library fold geometry (`celllib::GeometryRules`) | jitter 95 nm (45 nm lib); fold gap 25–55 nm, overlap ≤ 0.22 (45 nm) / ≤ 0.85 (65 nm) | Table 1 middle column (~13X aligned-active gain) and Table 2 penalty bands |\n"
+      "\n"
+      "Everything else is taken directly from the paper: μ_S = 4 nm, p_m =\n"
+      "33 %, p_Rm ≈ 1, p_Rs ∈ {0, 30 %}, M = 100e6, yield 90 %, L_CNT =\n"
+      "200 µm, P_min-CNFET = 1.8 FETs/µm, nodes {45, 32, 22, 16} nm.\n"
+      "\n";
+
+  std::cout << report_fig2_1(params).render_markdown() << '\n';
+  std::cout << report_fig2_2a().render_markdown() << '\n';
+  std::cout << report_fig2_2b(params).render_markdown() << '\n';
+  std::cout << report_table1(params).render_markdown() << '\n';
+  std::cout << report_fig3_3(params, 350.0).render_markdown() << '\n';
+  std::cout << report_table2(params).render_markdown() << '\n';
+  std::cout << report_flow_summary(params).render_markdown() << '\n';
+
+  std::cout <<
+      "## Reading guide\n"
+      "\n"
+      "* **Fig 2.1** — the measured curve matches the paper's slope\n"
+      "  (d ln p_F/dW ≈ -0.12 per nm) by construction of eq. 2.2; the two\n"
+      "  anchor widths land within a few nm of the paper's 155/103 nm.\n"
+      "* **Table 1** — the uncorrelated column is pinned to the paper's\n"
+      "  operating point; the aligned column is p_F by the sharing argument;\n"
+      "  the middle column is *computed* (Ross conditional Monte Carlo over\n"
+      "  the synthetic library's offset diversity) and reproduces the\n"
+      "  ~26.5X × ~13X ≈ 350X decomposition.\n"
+      "* **Fig 2.2b / Fig 3.3** — the penalty explosion towards 16 nm and\n"
+      "  its collapse under correlation are the paper's headline; both\n"
+      "  reproduce. Absolute percentages depend on the synthetic width\n"
+      "  distribution's tail and deviate from the paper by a few points.\n"
+      "* **Table 2** — cell counts (134/775), the 4-of-134 penalised set,\n"
+      "  the ~20 % commercial penalised share, the 0 % two-row variant and\n"
+      "  the W_min ordering (one-row < two-row, both ≈ 100–112 nm) all\n"
+      "  reproduce; the 65 nm max penalty reaches ~69 % vs the paper's 70 %.\n";
+  return 0;
+}
