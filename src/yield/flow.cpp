@@ -36,13 +36,16 @@ util::Table FlowResult::summary_table() const {
   t.header({"strategy", "relaxation", "W_min (nm)", "power penalty",
             "cells widened", "library area"});
   for (const auto& r : strategies) {
+    // Named lvalue sidesteps GCC 12's -Wrestrict false positive on
+    // operator+(const char*, std::string&&) (GCC bug 105329).
+    const std::string area = util::format_pct(r.area_penalty);
     t.begin_row()
         .cell(to_string(r.strategy))
         .cell(util::format_sig(r.relaxation, 4) + "X")
         .num(r.w_min, 4)
         .cell(util::format_pct(r.power_penalty))
         .cell(std::to_string(r.cells_widened))
-        .cell("+" + util::format_pct(r.area_penalty));
+        .cell("+" + area);
   }
   return t;
 }
