@@ -4,7 +4,10 @@
 
 #include <iostream>
 
+#include "celllib/generator.h"
 #include "experiments/flow_summary.h"
+#include "netlist/design_generator.h"
+#include "yield/flow.h"
 
 namespace {
 
@@ -16,6 +19,54 @@ void BM_FullYieldFlow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullYieldFlow)->Unit(benchmark::kMillisecond);
+
+// Arg = thread count at a fixed stream count: every arg computes the
+// identical numbers, so the curve is the pure scheduling speedup.
+void BM_FullYieldFlowThreads(benchmark::State& state) {
+  cny::experiments::PaperParams params;
+  params.n_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const auto res = cny::experiments::run_flow_summary(params);
+    benchmark::DoNotOptimize(res.strategies.size());
+  }
+}
+BENCHMARK(BM_FullYieldFlowThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The batched entry point: a 3-point yield-target sweep sharing one p_F(W)
+// interpolant, vs re-running run_flow per point (see run_flow_batch).
+void BM_FlowBatchSweep(benchmark::State& state) {
+  static const cny::celllib::Library lib = cny::celllib::make_nangate45_like();
+  static const cny::netlist::Design design =
+      cny::netlist::make_openrisc_like(lib);
+  const cny::experiments::PaperParams paper;
+  std::vector<cny::yield::FlowJob> jobs;
+  for (double y : {0.80, 0.90, 0.95}) {
+    cny::yield::FlowJob job;
+    job.design = &design;
+    job.params.yield_desired = y;
+    jobs.push_back(job);
+  }
+  cny::yield::BatchParams batch;
+  batch.share_interpolant = state.range(0) != 0;
+  for (auto _ : state) {
+    // Fresh model per iteration: measure the cold cost a new process/param
+    // set pays, not replays against an already-warm memo cache.
+    state.PauseTiming();
+    const auto cold_model = paper.failure_model();
+    state.ResumeTiming();
+    const auto results =
+        cny::yield::run_flow_batch(lib, jobs, cold_model, batch);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_FlowBatchSweep)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -5,8 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include "cnt/growth.h"
+#include "exec/parallel_mc.h"
 #include "rng/distributions.h"
 #include "rng/engine.h"
+#include "stats/bootstrap.h"
+#include "yield/empty_window.h"
 #include "yield/monte_carlo.h"
 
 namespace {
@@ -86,6 +89,71 @@ void BM_ChipYieldSimulation(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200 * 8);
 }
 BENCHMARK(BM_ChipYieldSimulation)->Unit(benchmark::kMillisecond);
+
+// --- parallel execution subsystem (exec/parallel_mc.h) ---------------------
+// Arg = thread count; the stream count is pinned at 16 so every thread
+// count computes the identical result — the speedup is pure scheduling.
+
+void BM_UnionConditionalMcThreads(benchmark::State& state) {
+  const double lambda = 0.117, w = 145.0;
+  std::vector<cny::geom::Interval> windows;
+  for (double o : {0.0, 15.0, 33.0, 52.0, 78.0, 95.0, 130.0, 155.0}) {
+    windows.push_back({o, o + w});
+  }
+  const exec::McPolicy policy{static_cast<unsigned>(state.range(0)), 16};
+  rng::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const auto res =
+        yield::union_conditional_mc(lambda, windows, 20000, rng, policy);
+    benchmark::DoNotOptimize(res.estimate);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_UnionConditionalMcThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChipYieldSimulationThreads(benchmark::State& state) {
+  const cnt::DirectionalGrowth growth(cnt::PitchModel(4.0, 1.0),
+                                      cnt::fig21_worst(), 200.0e3);
+  yield::ChipSpec spec;
+  spec.row_windows =
+      std::vector<cny::geom::Interval>(16, cny::geom::Interval{0.0, 30.0});
+  spec.n_rows = 8;
+  const exec::McPolicy policy{static_cast<unsigned>(state.range(0)), 16};
+  rng::Xoshiro256 rng(6);
+  for (auto _ : state) {
+    const auto res = yield::simulate_chip_yield(
+        growth, spec, yield::GrowthStyle::Directional, 200, rng, policy);
+    benchmark::DoNotOptimize(res.chip_yield);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200 * 8);
+}
+BENCHMARK(BM_ChipYieldSimulationThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BootstrapThreads(benchmark::State& state) {
+  std::vector<double> data;
+  rng::Xoshiro256 gen(5);
+  for (int i = 0; i < 400; ++i) data.push_back(gen.uniform());
+  const exec::McPolicy policy{static_cast<unsigned>(state.range(0)), 16};
+  rng::Xoshiro256 rng(9);
+  for (auto _ : state) {
+    const auto ci = stats::bootstrap_mean_ci(data, rng, 4000, 0.95, policy);
+    benchmark::DoNotOptimize(ci.lo);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4000);
+}
+BENCHMARK(BM_BootstrapThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -45,18 +45,26 @@ std::vector<Cnt> DirectionalGrowth::generate_band(cny::rng::Xoshiro256& rng,
 
 std::vector<double> DirectionalGrowth::functional_positions(
     cny::rng::Xoshiro256& rng, double y_lo, double y_hi) const {
-  CNY_EXPECT(y_hi > y_lo);
-  const double pf = process_.p_fail();
+  CNY_EXPECT(y_hi > y_lo);  // before reserve(): its size math assumes it
   std::vector<double> ys;
   ys.reserve(static_cast<std::size_t>((y_hi - y_lo) * pitch_.density() *
-                                      (1.0 - pf)) +
+                                      (1.0 - process_.p_fail())) +
              8);
+  functional_positions(rng, y_lo, y_hi, ys);
+  return ys;
+}
+
+void DirectionalGrowth::functional_positions(cny::rng::Xoshiro256& rng,
+                                             double y_lo, double y_hi,
+                                             std::vector<double>& out) const {
+  CNY_EXPECT(y_hi > y_lo);
+  const double pf = process_.p_fail();
+  out.clear();
   double y = y_lo + pitch_.sample_equilibrium(rng);
   while (y < y_hi) {
-    if (!cny::rng::sample_bernoulli(rng, pf)) ys.push_back(y);
+    if (!cny::rng::sample_bernoulli(rng, pf)) out.push_back(y);
     y += pitch_.sample(rng);
   }
-  return ys;
 }
 
 UncorrelatedGrowth::UncorrelatedGrowth(double tubes_per_um2,

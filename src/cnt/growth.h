@@ -74,6 +74,12 @@ class DirectionalGrowth {
   [[nodiscard]] std::vector<double> functional_positions(
       cny::rng::Xoshiro256& rng, double y_lo, double y_hi) const;
 
+  /// Allocation-free variant for hot MC loops: clears `out` and fills it
+  /// with the same positions (and identical RNG consumption) as the
+  /// returning overload, reusing `out`'s capacity across calls.
+  void functional_positions(cny::rng::Xoshiro256& rng, double y_lo,
+                            double y_hi, std::vector<double>& out) const;
+
  private:
   PitchModel pitch_;
   ProcessParams process_;

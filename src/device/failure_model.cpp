@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/thread_pool.h"
 #include "util/contracts.h"
 
 namespace cny::device {
@@ -11,15 +12,93 @@ FailureModel::FailureModel(cnt::PitchModel pitch, cnt::ProcessParams process)
   process_.validate();
 }
 
+FailureModel::FailureModel(const FailureModel& other)
+    : pitch_(other.pitch_), process_(other.process_) {
+  // pitch_/process_ are immutable after construction (assignment is
+  // deleted), so reading them above without other's lock is safe; only the
+  // mutable caches need it.
+  const std::lock_guard<std::mutex> lock(other.mutex_);
+  cache_ = other.cache_;
+  interp_ = other.interp_;
+}
+
+std::shared_ptr<const FailureModel::LogPfInterp> FailureModel::interpolant()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return interp_;
+}
+
 double FailureModel::p_f(double width) const {
   CNY_EXPECT(width >= 0.0);
-  if (const auto it = cache_.find(width); it != cache_.end()) {
-    return it->second;
+  // One lock acquisition covers both the interpolant check and the memo
+  // lookup — this is the hottest read path in the solvers.
+  std::shared_ptr<const LogPfInterp> interp;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (interp_ && width >= interp_->w_lo && width <= interp_->w_hi) {
+      interp = interp_;
+    } else if (const auto it = cache_.find(width); it != cache_.end()) {
+      return it->second;
+    }
   }
+  if (interp) return std::exp(interp->log_pf(width));
+  return p_f_exact(width);
+}
+
+double FailureModel::p_f_exact(double width) const {
+  CNY_EXPECT(width >= 0.0);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = cache_.find(width); it != cache_.end()) {
+      return it->second;
+    }
+  }
+  // Evaluate outside the lock: the PGF costs ~10^4 incomplete gammas, and
+  // p_F is a pure function, so concurrent duplicate work is merely wasted
+  // effort, never an inconsistency.
   const cnt::CountDistribution dist(pitch_, width);
   const double value = dist.pgf(process_.p_fail());
+  const std::lock_guard<std::mutex> lock(mutex_);
   cache_.emplace(width, value);
   return value;
+}
+
+void FailureModel::enable_interpolation(double w_lo, double w_hi,
+                                        std::size_t knots,
+                                        unsigned n_threads) const {
+  CNY_EXPECT(w_lo > 0.0 && w_hi > w_lo);
+  CNY_EXPECT(knots >= 4);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (interp_ && interp_->w_lo <= w_lo && interp_->w_hi >= w_hi) return;
+  }
+  // Geometric knot spacing: the exact evaluation costs O(W) (the count
+  // distribution carries ~W/μ_S terms), while log p_F(W) is nearly linear
+  // at large W (Fig 2.1) — so spend the knots where they are cheap AND
+  // where the curvature lives.
+  std::vector<double> xs(knots), ys(knots);
+  const double ratio = w_hi / w_lo;
+  for (std::size_t i = 0; i < knots; ++i) {
+    xs[i] = w_lo * std::pow(ratio, static_cast<double>(i) /
+                                       static_cast<double>(knots - 1));
+  }
+  xs.back() = w_hi;  // guard against pow() rounding shrinking the range
+  exec::parallel_for(knots, n_threads,
+                     [&](std::size_t i) { ys[i] = std::log(p_f_exact(xs[i])); });
+  auto built = std::make_shared<const LogPfInterp>(
+      LogPfInterp{w_lo, w_hi, numeric::MonotoneCubic(std::move(xs), std::move(ys))});
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // If a racing builder already installed a table covering this request,
+  // keep it; otherwise install ours so the requested range is served.
+  // (One table at a time: a later call for a different range replaces it.)
+  if (!interp_ || !(interp_->w_lo <= w_lo && interp_->w_hi >= w_hi)) {
+    interp_ = std::move(built);
+  }
+}
+
+bool FailureModel::interpolation_covers(double width) const {
+  const auto interp = interpolant();
+  return interp && width >= interp->w_lo && width <= interp->w_hi;
 }
 
 double FailureModel::p_f_poisson_closed_form(double width) const {

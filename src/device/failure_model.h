@@ -12,11 +12,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "cnt/count_distribution.h"
 #include "cnt/growth.h"
 #include "cnt/pitch_model.h"
 #include "cnt/process.h"
+#include "numeric/interp.h"
 #include "rng/engine.h"
 #include "stats/accumulator.h"
 
@@ -26,14 +28,44 @@ class FailureModel {
  public:
   FailureModel(cnt::PitchModel pitch, cnt::ProcessParams process);
 
+  // The memo cache and interpolant are guarded by an internal mutex, so a
+  // mutex-free default copy is not available; copies share nothing.
+  // Assignment is deleted on purpose: pitch/process are immutable after
+  // construction, which is what makes their lock-free reads on the hot
+  // p_f path safe under concurrency.
+  FailureModel(const FailureModel& other);
+  FailureModel& operator=(const FailureModel&) = delete;
+
   [[nodiscard]] const cnt::PitchModel& pitch() const { return pitch_; }
   [[nodiscard]] const cnt::ProcessParams& process() const { return process_; }
   [[nodiscard]] double p_fail_per_cnt() const { return process_.p_fail(); }
 
   /// Analytic p_F(W), eq. (2.2). Results are memoised per width because the
   /// count distribution behind each evaluation costs ~10^4 incomplete-gamma
-  /// evaluations and the solvers re-query the same widths.
+  /// evaluations and the solvers re-query the same widths. Thread-safe:
+  /// concurrent callers (the batch flow, the parallel MC kernels) may hit
+  /// the cache simultaneously. When interpolation is enabled and `width`
+  /// falls inside its range, the cached interpolant answers instead.
   [[nodiscard]] double p_f(double width) const;
+
+  /// Always the exact PGF evaluation, bypassing any enabled interpolant
+  /// (still memoised and thread-safe).
+  [[nodiscard]] double p_f_exact(double width) const;
+
+  /// Builds (first call) a monotone-cubic interpolant of log p_F over
+  /// geometrically spaced knots in [w_lo, w_hi] and routes subsequent
+  /// in-range p_f() queries through it. One table build (`knots` exact
+  /// evaluations, parallelised over `n_threads`) replaces the per-strategy
+  /// per-design re-evaluation cost in batched flows; geometric spacing
+  /// concentrates knots at small W, where the exact evaluation is cheap and
+  /// log p_F actually curves. Thread-safe and idempotent: later calls with
+  /// a range already covered are no-ops, and readers racing the build
+  /// simply fall back to the exact path.
+  void enable_interpolation(double w_lo, double w_hi, std::size_t knots = 65,
+                            unsigned n_threads = 1) const;
+
+  /// Whether an interpolant is installed (and, if so, covering `width`).
+  [[nodiscard]] bool interpolation_covers(double width) const;
 
   /// Closed form for the Poisson (CV = 1) pitch special case:
   ///   p_F = exp(-W/μ_S · (1 - p_f)).
@@ -53,9 +85,19 @@ class FailureModel {
   [[nodiscard]] double mean_count(double width) const;
 
  private:
+  struct LogPfInterp {
+    double w_lo = 0.0;
+    double w_hi = 0.0;
+    numeric::MonotoneCubic log_pf;
+  };
+
+  [[nodiscard]] std::shared_ptr<const LogPfInterp> interpolant() const;
+
   cnt::PitchModel pitch_;
   cnt::ProcessParams process_;
+  mutable std::mutex mutex_;                       ///< guards cache_/interp_
   mutable std::map<double, double> cache_;
+  mutable std::shared_ptr<const LogPfInterp> interp_;
 };
 
 }  // namespace cny::device

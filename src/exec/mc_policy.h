@@ -1,0 +1,41 @@
+// Stream/thread policy for parallelised Monte-Carlo loops — the light
+// header public APIs name in default arguments. The machinery that consumes
+// it (thread pool, parallel_mc_reduce, run_mc) lives in parallel_mc.h /
+// thread_pool.h, which only the implementing .cpps need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/engine.h"
+
+namespace cny::exec {
+
+/// Hardware concurrency, never less than 1 (defined in thread_pool.cpp).
+[[nodiscard]] unsigned hardware_threads();
+
+/// Stream/thread policy for one parallelised MC loop. The default (one
+/// stream, one thread) is the legacy serial behaviour.
+struct McPolicy {
+  unsigned n_threads = 1;  ///< 0 = hardware concurrency
+  unsigned n_streams = 1;  ///< fixes the random sequence; >= 1
+
+  [[nodiscard]] unsigned resolved_threads() const {
+    return n_threads == 0 ? hardware_threads() : n_threads;
+  }
+  [[nodiscard]] bool serial_streams() const { return n_streams <= 1; }
+};
+
+/// Per-shard engines for `base`: {copy of base, base.make_stream(0), ...,
+/// base.make_stream(n-2)}. Streams are 2^128 steps apart — far beyond any
+/// realistic sample budget, hence statistically independent.
+[[nodiscard]] std::vector<rng::Xoshiro256> make_streams(
+    const rng::Xoshiro256& base, unsigned n);
+
+/// Contiguous shard sizes: n_samples split as evenly as possible with the
+/// remainder going to the leading shards. Every shard is non-empty when
+/// n_samples >= n_streams.
+[[nodiscard]] std::vector<std::uint64_t> shard_counts(std::uint64_t n_samples,
+                                                      unsigned n_streams);
+
+}  // namespace cny::exec

@@ -1,0 +1,32 @@
+#include "exec/parallel_mc.h"
+
+namespace cny::exec {
+
+std::vector<rng::Xoshiro256> make_streams(const rng::Xoshiro256& base,
+                                          unsigned n) {
+  CNY_EXPECT(n >= 1);
+  std::vector<rng::Xoshiro256> streams;
+  streams.reserve(n);
+  streams.push_back(base);  // stream 0: legacy serial order
+  for (unsigned i = 1; i < n; ++i) {
+    // Chain one jump past the previous stream: identical states to
+    // base.make_stream(i - 1) (= base jumped i times) at O(n) jumps
+    // instead of O(n^2).
+    rng::Xoshiro256 child = streams.back();
+    child.jump();
+    streams.push_back(child);
+  }
+  return streams;
+}
+
+std::vector<std::uint64_t> shard_counts(std::uint64_t n_samples,
+                                        unsigned n_streams) {
+  CNY_EXPECT(n_streams >= 1);
+  const std::uint64_t per = n_samples / n_streams;
+  const std::uint64_t extra = n_samples % n_streams;
+  std::vector<std::uint64_t> counts(n_streams, per);
+  for (std::uint64_t i = 0; i < extra; ++i) ++counts[i];
+  return counts;
+}
+
+}  // namespace cny::exec

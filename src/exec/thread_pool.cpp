@@ -1,0 +1,105 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <latch>
+
+namespace cny::exec {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+  const unsigned n = n_threads == 0 ? hardware_threads() : n_threads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;  // sized to hardware_threads(); lives forever
+  return pool;
+}
+
+void parallel_for(std::size_t n, unsigned n_threads,
+                  const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool) {
+  if (n == 0) return;
+  const unsigned threads = n_threads == 0 ? hardware_threads() : n_threads;
+  if (threads <= 1 || n == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto drain = [&] {
+    std::size_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) error = std::current_exception();
+      }
+    }
+  };
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  const unsigned helpers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n)) - 1;
+  std::latch done(helpers);
+  for (unsigned t = 0; t < helpers; ++t) {
+    p.post([&] {
+      drain();
+      done.count_down();
+    });
+  }
+  drain();
+  done.wait();
+  if (failed.load()) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace cny::exec

@@ -1,0 +1,70 @@
+// Execution subsystem: a small reusable thread pool.
+//
+// The pool is deliberately minimal — a fixed set of workers draining one
+// FIFO queue — because every parallel construct in this library is built on
+// `parallel_mc_reduce` (parallel_mc.h), which owns determinism: the pool
+// only ever decides *when* work runs, never *what* is computed.
+//
+// Re-entrancy rule: code already running on a pool worker must not post
+// work and block on it (the classic nested-fork deadlock). Callers can
+// detect that situation with `ThreadPool::on_worker_thread()` and fall back
+// to inline execution; `parallel_mc_reduce` does exactly that.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cny::exec {
+
+/// Hardware concurrency, never less than 1.
+[[nodiscard]] unsigned hardware_threads();
+
+class ThreadPool {
+ public:
+  /// `n_threads` workers; 0 means hardware_threads().
+  explicit ThreadPool(unsigned n_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues `task` for execution on some worker, FIFO order.
+  void post(std::function<void()> task);
+
+  /// True iff the calling thread is a worker of *any* ThreadPool.
+  [[nodiscard]] static bool on_worker_thread();
+
+  /// Process-wide pool sized to hardware_threads(), created on first use.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(0) .. body(n-1) on up to `n_threads` threads (0 = hardware
+/// concurrency) and returns when all have finished. Indices are claimed
+/// from an atomic counter and the calling thread works alongside the pool
+/// (`pool` null = shared()), so completion never depends on pool capacity.
+/// Runs inline when parallelism cannot help or when already on a pool
+/// worker (nested fork). The first exception thrown by any body is
+/// rethrown after completion. `body` must make any cross-index writes to
+/// disjoint slots — this helper adds no synchronisation around them beyond
+/// the final join.
+void parallel_for(std::size_t n, unsigned n_threads,
+                  const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace cny::exec

@@ -15,6 +15,7 @@ yield::FlowResult run_flow_summary(const PaperParams& params) {
   flow.chip_transistors = static_cast<double>(params.chip_transistors);
   flow.l_cnt = params.l_cnt_nm;
   flow.fets_per_um = params.fets_per_um;
+  flow.n_threads = params.n_threads;
   return yield::run_flow(lib, design, model, flow);
 }
 

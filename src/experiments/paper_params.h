@@ -36,6 +36,11 @@ struct PaperParams {
   // --- Scaling study (Fig 2.2b / Fig 3.3) ------------------------------
   std::vector<double> nodes_nm = {45.0, 32.0, 22.0, 16.0};
 
+  // --- Execution (exec/parallel_mc.h) ----------------------------------
+  /// Worker threads for the MC-backed experiments; 0 = hardware
+  /// concurrency. Scheduling only — reported numbers never depend on it.
+  unsigned n_threads = 0;
+
   [[nodiscard]] cnt::PitchModel pitch() const {
     return cnt::PitchModel(pitch_mean_nm, pitch_cv);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel_mc.h"
 #include "util/contracts.h"
 
 namespace cny::stats {
@@ -10,20 +11,34 @@ namespace cny::stats {
 Interval bootstrap_ci(
     const std::vector<double>& data,
     const std::function<double(const std::vector<double>&)>& statistic,
-    cny::rng::Xoshiro256& rng, std::size_t resamples, double level) {
+    cny::rng::Xoshiro256& rng, std::size_t resamples, double level,
+    const exec::McPolicy& policy) {
   CNY_EXPECT(!data.empty());
   CNY_EXPECT(resamples >= 10);
   CNY_EXPECT(level > 0.0 && level < 1.0);
 
-  std::vector<double> stats;
-  stats.reserve(resamples);
-  std::vector<double> resample(data.size());
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (auto& v : resample) {
-      v = data[rng.uniform_index(data.size())];
+  // Per-shard resampling; `resample` is shard-local scratch. The partial
+  // statistics vectors are concatenated in stream order, and the final sort
+  // makes the quantiles independent of that order anyway.
+  const auto kernel = [&](unsigned /*stream*/, std::uint64_t shard_resamples,
+                          cny::rng::Xoshiro256& shard_rng) {
+    std::vector<double> out;
+    out.reserve(shard_resamples);
+    std::vector<double> resample(data.size());
+    for (std::uint64_t r = 0; r < shard_resamples; ++r) {
+      for (auto& v : resample) {
+        v = data[shard_rng.uniform_index(data.size())];
+      }
+      out.push_back(statistic(resample));
     }
-    stats.push_back(statistic(resample));
-  }
+    return out;
+  };
+
+  std::vector<double> stats = exec::run_mc<std::vector<double>>(
+      resamples, rng, policy, kernel,
+      [](std::vector<double>& into, std::vector<double>&& part) {
+        into.insert(into.end(), part.begin(), part.end());
+      });
   std::sort(stats.begin(), stats.end());
   const double alpha = 0.5 * (1.0 - level);
   const auto pick = [&](double q) {
@@ -38,7 +53,7 @@ Interval bootstrap_ci(
 
 Interval bootstrap_mean_ci(const std::vector<double>& data,
                            cny::rng::Xoshiro256& rng, std::size_t resamples,
-                           double level) {
+                           double level, const exec::McPolicy& policy) {
   return bootstrap_ci(
       data,
       [](const std::vector<double>& v) {
@@ -46,7 +61,7 @@ Interval bootstrap_mean_ci(const std::vector<double>& data,
         for (double x : v) s += x;
         return s / static_cast<double>(v.size());
       },
-      rng, resamples, level);
+      rng, resamples, level, policy);
 }
 
 }  // namespace cny::stats

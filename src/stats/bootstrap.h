@@ -5,23 +5,30 @@
 #include <functional>
 #include <vector>
 
+#include "exec/mc_policy.h"
 #include "rng/engine.h"
 #include "stats/accumulator.h"
 
 namespace cny::stats {
 
 /// Percentile-bootstrap CI of `statistic` evaluated on resamples of `data`.
-/// `level` is two-sided (e.g. 0.95).
+/// `level` is two-sided (e.g. 0.95). `policy` shards the resampling loop
+/// across RNG streams/threads (exec/parallel_mc.h); the default reproduces
+/// the legacy serial loop on `rng` bit-for-bit, and results never depend on
+/// the thread count. With policy.n_threads > 1 the `statistic` callable is
+/// invoked concurrently from several threads and must be thread-safe (pure
+/// functions of the argument are; lambdas mutating captured state are not).
 [[nodiscard]] Interval bootstrap_ci(
     const std::vector<double>& data,
     const std::function<double(const std::vector<double>&)>& statistic,
     cny::rng::Xoshiro256& rng, std::size_t resamples = 1000,
-    double level = 0.95);
+    double level = 0.95, const exec::McPolicy& policy = {});
 
 /// Convenience: bootstrap CI of the sample mean.
 [[nodiscard]] Interval bootstrap_mean_ci(const std::vector<double>& data,
                                          cny::rng::Xoshiro256& rng,
                                          std::size_t resamples = 1000,
-                                         double level = 0.95);
+                                         double level = 0.95,
+                                         const exec::McPolicy& policy = {});
 
 }  // namespace cny::stats

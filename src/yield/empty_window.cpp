@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "exec/parallel_mc.h"
 #include "rng/distributions.h"
 #include "util/contracts.h"
 
@@ -37,30 +38,35 @@ double poisson_union_exact(double lambda_s,
   CNY_EXPECT_MSG(k <= max_distinct,
                  "too many distinct windows for inclusion-exclusion");
 
+  // Flat (lo, hi) pairs keep the subset scan on two contiguous doubles per
+  // member instead of chasing Interval pointers.
+  std::vector<double> lo_of(static_cast<std::size_t>(k));
+  std::vector<double> hi_of(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    lo_of[static_cast<std::size_t>(i)] = distinct[static_cast<std::size_t>(i)].lo;
+    hi_of[static_cast<std::size_t>(i)] = distinct[static_cast<std::size_t>(i)].hi;
+  }
+
   // Enumerate subsets; union measure per subset via sorted merge over the
-  // (already lo-sorted) member intervals.
+  // (already lo-sorted) members, walking only the SET bits of the mask.
   const std::uint32_t n_subsets = 1u << k;
   double total = 0.0;
-  std::vector<const geom::Interval*> members;
-  members.reserve(static_cast<std::size_t>(k));
   for (std::uint32_t mask = 1; mask < n_subsets; ++mask) {
-    members.clear();
-    for (int i = 0; i < k; ++i) {
-      if (mask & (1u << i)) {
-        members.push_back(&distinct[static_cast<std::size_t>(i)]);
-      }
-    }
+    std::uint32_t bits = mask;
+    std::size_t first = static_cast<std::size_t>(std::countr_zero(bits));
+    bits &= bits - 1;
     double measure = 0.0;
-    double cur_lo = members.front()->lo;
-    double cur_hi = members.front()->hi;
-    for (std::size_t i = 1; i < members.size(); ++i) {
-      const auto& iv = *members[i];
-      if (iv.lo > cur_hi) {
+    double cur_lo = lo_of[first];
+    double cur_hi = hi_of[first];
+    while (bits != 0) {
+      const std::size_t i = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (lo_of[i] > cur_hi) {
         measure += cur_hi - cur_lo;
-        cur_lo = iv.lo;
-        cur_hi = iv.hi;
+        cur_lo = lo_of[i];
+        cur_hi = hi_of[i];
       } else {
-        cur_hi = std::max(cur_hi, iv.hi);
+        cur_hi = std::max(cur_hi, hi_of[i]);
       }
     }
     measure += cur_hi - cur_lo;
@@ -76,7 +82,8 @@ double poisson_union_exact(double lambda_s,
 UnionMcResult union_conditional_mc(double lambda_s,
                                    const std::vector<geom::Interval>& windows,
                                    std::size_t n_samples,
-                                   rng::Xoshiro256& rng) {
+                                   rng::Xoshiro256& rng,
+                                   const exec::McPolicy& policy) {
   CNY_EXPECT(lambda_s > 0.0);
   CNY_EXPECT(!windows.empty());
   CNY_EXPECT(n_samples >= 2);
@@ -98,40 +105,52 @@ UnionMcResult union_conditional_mc(double lambda_s,
   geom::IntervalSet all;
   for (const auto& w : windows) all.add(w);
 
-  stats::Accumulator acc;
-  std::vector<double> points;
-  for (std::size_t s = 0; s < n_samples; ++s) {
-    const std::size_t i = pick(rng);
-    const auto& forced = windows[i];
+  // Shardable kernel: everything above is shared read-only state; the
+  // per-thread scratch (`points`) lives inside the kernel.
+  const auto kernel = [&](unsigned /*stream*/, std::uint64_t shard_samples,
+                          rng::Xoshiro256& shard_rng) {
+    stats::Accumulator acc;
+    std::vector<double> points;
+    for (std::uint64_t s = 0; s < shard_samples; ++s) {
+      const std::size_t i = pick(shard_rng);
+      const auto& forced = windows[i];
 
-    // Components of (∪ windows) \ forced.
-    points.clear();
-    for (const auto& comp : all.components()) {
-      // Subtract `forced` from this component (0, 1 or 2 residual pieces).
-      const geom::Interval pieces[2] = {
-          {comp.lo, std::min(comp.hi, forced.lo)},
-          {std::max(comp.lo, forced.hi), comp.hi}};
-      for (const auto& piece : pieces) {
-        if (piece.empty()) continue;
-        const long cnt = rng::sample_poisson(rng, lambda_s * piece.length());
-        for (long c = 0; c < cnt; ++c) {
-          points.push_back(rng.uniform(piece.lo, piece.hi));
+      // Components of (∪ windows) \ forced.
+      points.clear();
+      for (const auto& comp : all.components()) {
+        // Subtract `forced` from this component (0, 1 or 2 residual pieces).
+        const geom::Interval pieces[2] = {
+            {comp.lo, std::min(comp.hi, forced.lo)},
+            {std::max(comp.lo, forced.hi), comp.hi}};
+        for (const auto& piece : pieces) {
+          if (piece.empty()) continue;
+          const long cnt =
+              rng::sample_poisson(shard_rng, lambda_s * piece.length());
+          for (long c = 0; c < cnt; ++c) {
+            points.push_back(shard_rng.uniform(piece.lo, piece.hi));
+          }
         }
       }
-    }
-    std::sort(points.begin(), points.end());
+      std::sort(points.begin(), points.end());
 
-    // Count empty windows (window i is empty by construction).
-    std::size_t empties = 0;
-    for (const auto& w : windows) {
-      const auto it = std::lower_bound(points.begin(), points.end(), w.lo);
-      const bool has_point = it != points.end() && *it < w.hi;
-      if (!has_point) ++empties;
+      // Count empty windows (window i is empty by construction).
+      std::size_t empties = 0;
+      for (const auto& w : windows) {
+        const auto it = std::lower_bound(points.begin(), points.end(), w.lo);
+        const bool has_point = it != points.end() && *it < w.hi;
+        if (!has_point) ++empties;
+      }
+      CNY_ENSURE(empties >= 1);
+      acc.add(sum_p / static_cast<double>(empties));
     }
-    CNY_ENSURE(empties >= 1);
-    acc.add(sum_p / static_cast<double>(empties));
-  }
+    return acc;
+  };
 
+  const auto acc = exec::run_mc<stats::Accumulator>(
+      n_samples, rng, policy, kernel,
+      [](stats::Accumulator& into, stats::Accumulator&& part) {
+        into.merge(part);
+      });
   return UnionMcResult{acc.mean(), acc.std_error(), n_samples};
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "cnt/pitch_model.h"
+#include "exec/mc_policy.h"
 #include "geom/interval.h"
 #include "rng/engine.h"
 #include "stats/accumulator.h"
@@ -51,9 +52,15 @@ struct UnionMcResult {
 };
 
 /// Ross conditional MC for P(∪ empty) under Poisson statistics.
+/// The `policy` shards the sample loop across RNG streams and threads (see
+/// exec/parallel_mc.h); the default runs the legacy serial loop on `rng`
+/// bit-for-bit. With n_streams > 1 the estimate is a function of
+/// (rng state, n_streams) only — never of n_threads — and `rng` is advanced
+/// by one long_jump so consecutive calls stay independent.
 [[nodiscard]] UnionMcResult union_conditional_mc(
     double lambda_s, const std::vector<geom::Interval>& windows,
-    std::size_t n_samples, rng::Xoshiro256& rng);
+    std::size_t n_samples, rng::Xoshiro256& rng,
+    const exec::McPolicy& policy = {});
 
 /// Direct MC on the stationary renewal process with per-CNT failure
 /// probability p_fail (general pitch CV; slow, for validation).

@@ -1,7 +1,9 @@
 #include "yield/flow.h"
 
 #include <cmath>
+#include <optional>
 
+#include "exec/parallel_mc.h"
 #include "layout/aligned_active.h"
 #include "layout/row_placement.h"
 #include "power/penalty.h"
@@ -68,8 +70,9 @@ double directional_relaxation(const netlist::Design& design,
   const double p_f = model.p_f(w_probe);
   const double lambda_s = -std::log(p_f) / w_probe;
   rng::Xoshiro256 rng(rng::derive_seed(params.seed, 0xF10));
+  const exec::McPolicy policy{params.n_threads, params.mc_streams};
   const double p_rf =
-      union_conditional_mc(lambda_s, windows, params.mc_samples, rng)
+      union_conditional_mc(lambda_s, windows, params.mc_samples, rng, policy)
           .estimate;
   RowParams rows;
   rows.l_cnt = params.l_cnt;
@@ -162,6 +165,36 @@ FlowResult run_flow(const celllib::Library& lib,
     out.strategies.push_back(r);
   }
   return out;
+}
+
+std::vector<FlowResult> run_flow_batch(const celllib::Library& lib,
+                                       const std::vector<FlowJob>& jobs,
+                                       const device::FailureModel& model,
+                                       const BatchParams& batch) {
+  for (const auto& job : jobs) CNY_EXPECT(job.design != nullptr);
+  // The interpolant is installed on a batch-local copy so the caller's
+  // model keeps answering exactly after the batch returns; the copy carries
+  // the caller's memo cache, so already-paid evaluations still count.
+  std::optional<device::FailureModel> shared_model;
+  const device::FailureModel* eval_model = &model;
+  if (batch.share_interpolant) {
+    // One table over the solver's full W bracket serves every width query
+    // any job's strategies will make.
+    const WminRequest bracket;
+    shared_model.emplace(model);
+    shared_model->enable_interpolation(bracket.w_lo, bracket.w_hi,
+                                       batch.interpolant_knots,
+                                       batch.n_threads);
+    eval_model = &*shared_model;
+  }
+
+  // Jobs land in job-indexed slots and each job is a deterministic function
+  // of its own (design, params), so scheduling cannot change any result.
+  std::vector<FlowResult> results(jobs.size());
+  exec::parallel_for(jobs.size(), batch.n_threads, [&](std::size_t i) {
+    results[i] = run_flow(lib, *jobs[i].design, *eval_model, jobs[i].params);
+  });
+  return results;
 }
 
 }  // namespace cny::yield

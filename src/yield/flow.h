@@ -41,6 +41,14 @@ struct FlowParams {
   double active_spacing = 140.0;   ///< same-y diffusion rule for alignment
   std::size_t mc_samples = 20000;  ///< conditional-MC budget (DirectionalOnly)
   std::uint64_t seed = 1;
+  /// Worker threads for the MC loops; 0 = hardware concurrency. Pure
+  /// scheduling: every reported number is invariant under n_threads.
+  unsigned n_threads = 0;
+  /// RNG streams the conditional MC is sharded into. Together with `seed`
+  /// this fixes the random sequence, so results are a function of
+  /// (seed, mc_streams) only. 1 reproduces the pre-exec-subsystem serial
+  /// numbers bit-for-bit (stream 0 is the legacy serial order).
+  unsigned mc_streams = 16;
 };
 
 struct StrategyResult {
@@ -66,5 +74,34 @@ struct FlowResult {
                                   const netlist::Design& design,
                                   const device::FailureModel& model,
                                   const FlowParams& params);
+
+/// One unit of batched work: a design plus the parameters to evaluate it
+/// under. Param sweeps are batches whose jobs share a design.
+struct FlowJob {
+  const netlist::Design* design = nullptr;
+  FlowParams params;
+};
+
+struct BatchParams {
+  /// Concurrent jobs; 0 = hardware concurrency. Scheduling only — results
+  /// are always identical to running each job through run_flow alone.
+  unsigned n_threads = 0;
+  /// Build one log-p_F(W) interpolant up front (on a batch-local copy of
+  /// the model — the caller's model is never modified) and let all jobs
+  /// (every strategy of every design) share it, instead of paying the
+  /// count-distribution PGF per fresh width per job. Trades exactness for
+  /// throughput: W_min shifts by the interpolation error (~1e-4 nm with the
+  /// default knot count).
+  bool share_interpolant = true;
+  std::size_t interpolant_knots = 65;
+};
+
+/// Evaluates every job concurrently on the shared thread pool. Results come
+/// back in job order and are deterministic: job i equals
+/// run_flow(lib, *jobs[i].design, model, jobs[i].params) exactly (when
+/// `share_interpolant` is false) or to interpolation accuracy (when true).
+[[nodiscard]] std::vector<FlowResult> run_flow_batch(
+    const celllib::Library& lib, const std::vector<FlowJob>& jobs,
+    const device::FailureModel& model, const BatchParams& batch = {});
 
 }  // namespace cny::yield

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/parallel_mc.h"
 #include "util/contracts.h"
 
 namespace cny::yield {
@@ -20,10 +21,22 @@ bool any_window_empty(const std::vector<double>& points,
 
 }  // namespace
 
+namespace {
+
+/// Mergeable per-shard failure tallies.
+struct ChipTally {
+  std::uint64_t chip_failures = 0;
+  std::uint64_t row_failures = 0;
+  std::uint64_t rows = 0;
+};
+
+}  // namespace
+
 ChipMcResult simulate_chip_yield(const cnt::DirectionalGrowth& growth,
                                  const ChipSpec& spec, GrowthStyle style,
                                  std::uint64_t n_chips,
-                                 rng::Xoshiro256& rng) {
+                                 rng::Xoshiro256& rng,
+                                 const exec::McPolicy& policy) {
   CNY_EXPECT(!spec.row_windows.empty());
   CNY_EXPECT(spec.n_rows >= 1);
   CNY_EXPECT(n_chips >= 2);
@@ -36,40 +49,53 @@ ChipMcResult simulate_chip_yield(const cnt::DirectionalGrowth& growth,
     hi = std::max(hi, w.hi);
   }
 
-  std::uint64_t chip_failures = 0;
-  std::uint64_t row_failures = 0;
-  std::uint64_t rows = 0;
-  std::vector<double> points;
-
-  for (std::uint64_t chip = 0; chip < n_chips; ++chip) {
-    bool chip_failed = false;
-    for (std::uint64_t r = 0; r < spec.n_rows; ++r) {
-      ++rows;
-      bool row_failed = false;
-      if (style == GrowthStyle::Directional) {
-        points = growth.functional_positions(rng, lo, hi);
-        row_failed = any_window_empty(points, spec.row_windows);
-      } else {
-        // Uncorrelated growth: every device sees a fresh CNT population.
-        for (const auto& w : spec.row_windows) {
-          points = growth.functional_positions(rng, w.lo, w.hi);
-          const auto it =
-              std::lower_bound(points.begin(), points.end(), w.lo);
-          if (!(it != points.end() && *it < w.hi)) {
-            row_failed = true;
-            break;
+  // Shardable chip loop; `points` is per-shard scratch reused across every
+  // row (and every window in the uncorrelated branch) of the shard.
+  const auto kernel = [&](unsigned /*stream*/, std::uint64_t shard_chips,
+                          rng::Xoshiro256& shard_rng) {
+    ChipTally tally;
+    std::vector<double> points;
+    for (std::uint64_t chip = 0; chip < shard_chips; ++chip) {
+      bool chip_failed = false;
+      for (std::uint64_t r = 0; r < spec.n_rows; ++r) {
+        ++tally.rows;
+        bool row_failed = false;
+        if (style == GrowthStyle::Directional) {
+          growth.functional_positions(shard_rng, lo, hi, points);
+          row_failed = any_window_empty(points, spec.row_windows);
+        } else {
+          // Uncorrelated growth: every device sees a fresh CNT population.
+          for (const auto& w : spec.row_windows) {
+            growth.functional_positions(shard_rng, w.lo, w.hi, points);
+            const auto it =
+                std::lower_bound(points.begin(), points.end(), w.lo);
+            if (!(it != points.end() && *it < w.hi)) {
+              row_failed = true;
+              break;
+            }
           }
         }
+        if (row_failed) {
+          ++tally.row_failures;
+          chip_failed = true;
+          // Chip yield only needs "any row failed"; for p_RF statistics we
+          // keep scanning remaining rows of this chip.
+        }
       }
-      if (row_failed) {
-        ++row_failures;
-        chip_failed = true;
-        // Chip yield only needs "any row failed"; for p_RF statistics we
-        // keep scanning remaining rows of this chip.
-      }
+      if (chip_failed) ++tally.chip_failures;
     }
-    if (chip_failed) ++chip_failures;
-  }
+    return tally;
+  };
+
+  const ChipTally tally = exec::run_mc<ChipTally>(
+      n_chips, rng, policy, kernel, [](ChipTally& into, ChipTally&& part) {
+        into.chip_failures += part.chip_failures;
+        into.row_failures += part.row_failures;
+        into.rows += part.rows;
+      });
+  const std::uint64_t chip_failures = tally.chip_failures;
+  const std::uint64_t row_failures = tally.row_failures;
+  const std::uint64_t rows = tally.rows;
 
   ChipMcResult out;
   out.chips = n_chips;

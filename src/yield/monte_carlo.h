@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cnt/growth.h"
+#include "exec/mc_policy.h"
 #include "geom/interval.h"
 #include "rng/engine.h"
 #include "stats/accumulator.h"
@@ -41,8 +42,14 @@ struct ChipMcResult {
 };
 
 /// Simulates `n_chips` chips and reports yield and per-row failure rates.
+/// `policy` shards the chip loop across RNG streams/threads (see
+/// exec/parallel_mc.h); the default reproduces the legacy serial loop on
+/// `rng` bit-for-bit. With n_streams > 1 the tallies depend only on
+/// (rng state, n_streams) — never on n_threads — and `rng` is advanced by
+/// one long_jump.
 [[nodiscard]] ChipMcResult simulate_chip_yield(
     const cnt::DirectionalGrowth& growth, const ChipSpec& spec,
-    GrowthStyle style, std::uint64_t n_chips, rng::Xoshiro256& rng);
+    GrowthStyle style, std::uint64_t n_chips, rng::Xoshiro256& rng,
+    const exec::McPolicy& policy = {});
 
 }  // namespace cny::yield

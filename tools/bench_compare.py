@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff two Google Benchmark JSON runs (files or directories) and print a
+regression report.
+
+Usage:
+  tools/bench_compare.py BEFORE.json AFTER.json [--threshold=0.10]
+  tools/bench_compare.py bench/baselines/before bench/baselines/after
+
+When given directories, files with matching names are compared pairwise
+(benchmarks present on only one side are listed, not compared). Exits 1 if
+any benchmark slowed down by more than the threshold (default 10 %) and
+--fail-on-regress is set; always exits 0 otherwise so it can run
+informationally in CI.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    """name -> real_time in ns from one benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+        out[b["name"]] = b["real_time"] * scale
+    return out
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def compare(before, after, threshold):
+    """Returns (rows, regression_count); rows are printable tuples."""
+    rows = []
+    regressions = 0
+    for name in sorted(set(before) | set(after)):
+        if name not in after:
+            rows.append((name, fmt_ns(before[name]), "-", "removed", ""))
+            continue
+        if name not in before:
+            rows.append((name, "-", fmt_ns(after[name]), "new", ""))
+            continue
+        b, a = before[name], after[name]
+        ratio = a / b if b > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = "REGRESSION"
+            regressions += 1
+        elif ratio < 1.0 - threshold:
+            flag = "improved"
+        rows.append((name, fmt_ns(b), fmt_ns(a), f"{ratio:.2f}x", flag))
+    return rows, regressions
+
+
+def print_table(rows):
+    headers = ("benchmark", "before", "after", "ratio", "")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(5)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+
+
+def matching_files(before_dir, after_dir):
+    before = {f for f in os.listdir(before_dir) if f.endswith(".json")}
+    after = {f for f in os.listdir(after_dir) if f.endswith(".json")}
+    for only, side in ((before - after, "before"), (after - before, "after")):
+        for f in sorted(only):
+            print(f"note: {f} present only in {side}/", file=sys.stderr)
+    return sorted(before & after)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown that counts as a regression")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any regression exceeds the threshold")
+    args = parser.parse_args()
+
+    total_regressions = 0
+    if os.path.isdir(args.before) and os.path.isdir(args.after):
+        for name in matching_files(args.before, args.after):
+            print(f"== {name}")
+            rows, regs = compare(
+                load_benchmarks(os.path.join(args.before, name)),
+                load_benchmarks(os.path.join(args.after, name)),
+                args.threshold)
+            print_table(rows)
+            print()
+            total_regressions += regs
+    else:
+        rows, total_regressions = compare(
+            load_benchmarks(args.before), load_benchmarks(args.after),
+            args.threshold)
+        print_table(rows)
+
+    if total_regressions:
+        print(f"\n{total_regressions} regression(s) beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        if args.fail_on_regress:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,14 +4,23 @@
 //   cntyield_cli pf      [--w=155] [--pm=0.33] [--prs=0.30] [--cv=0.9]
 //   cntyield_cli wmin    [--lib=FILE] [--design=FILE] [--yield=0.90]
 //                        [--relaxation=1] [--chip-m=1e8]
+//   cntyield_cli flow    [--lib=FILE] [--design=FILE] [--yield=0.90]
+//                        [--mc-samples=20000] [--streams=16] [--seed=1]
+//   cntyield_cli batch   [--yields=0.80,0.90,0.95] [--no-interp]
+//                        (yield-target sweep through run_flow_batch)
 //   cntyield_cli scaling [--relaxation=350] (Fig 2.2b / 3.3 series)
 //   cntyield_cli table1  / table2            (paper tables)
 //   cntyield_cli align   [--lib=FILE] [--wmin=103] [--rows=1] [--out=FILE]
 //   cntyield_cli gen-lib [--which=nangate45|commercial65] --out=FILE
 //   cntyield_cli gen-design --lib=FILE --out=FILE [--instances=50000]
 //
+// `flow` and `batch` honour --threads=N (0 = hardware concurrency, the
+// default); thread count only changes wall-clock, never the numbers (those
+// depend on --seed and --streams only). The table/scaling subcommands keep
+// their serial legacy MC loops unchanged.
 // Without --lib/--design the built-in synthetic nangate45_like library and
 // OpenRISC-like design are used, so every subcommand runs out of the box.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -19,6 +28,7 @@
 
 #include "celllib/generator.h"
 #include "celllib/liberty_lite.h"
+#include "exec/thread_pool.h"
 #include "experiments/fig2_1.h"
 #include "experiments/fig2_2.h"
 #include "experiments/table1.h"
@@ -27,6 +37,9 @@
 #include "netlist/design_generator.h"
 #include "netlist/design_io.h"
 #include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "yield/flow.h"
 
 namespace {
 
@@ -47,26 +60,26 @@ netlist::Design resolve_design(const util::Cli& cli,
   return netlist::make_openrisc_like(lib);
 }
 
-int cmd_pf(const util::Cli& cli) {
+device::FailureModel resolve_model(const util::Cli& cli) {
   cnt::ProcessParams process;
   process.p_metallic = cli.get_double("pm", 0.33);
   process.p_remove_s = cli.get_double("prs", 0.30);
-  const device::FailureModel model(
-      cnt::PitchModel(4.0, cli.get_double("cv", 0.9)), process);
+  return device::FailureModel(cnt::PitchModel(4.0, cli.get_double("cv", 0.9)),
+                              process);
+}
+
+int cmd_pf(const util::Cli& cli) {
+  const auto model = resolve_model(cli);
   const double w = cli.get_double("w", 155.0);
-  std::printf("p_f per CNT = %.4f\np_F(%.1f nm) = %.4e\n", process.p_fail(),
-              w, model.p_f(w));
+  std::printf("p_f per CNT = %.4f\np_F(%.1f nm) = %.4e\n",
+              model.p_fail_per_cnt(), w, model.p_f(w));
   return 0;
 }
 
 int cmd_wmin(const util::Cli& cli) {
   const auto lib = resolve_library(cli);
   const auto design = resolve_design(cli, lib);
-  cnt::ProcessParams process;
-  process.p_metallic = cli.get_double("pm", 0.33);
-  process.p_remove_s = cli.get_double("prs", 0.30);
-  const device::FailureModel model(
-      cnt::PitchModel(4.0, cli.get_double("cv", 0.9)), process);
+  const auto model = resolve_model(cli);
 
   auto spectrum = design.width_spectrum();
   const double chip_m = cli.get_double("chip-m", 1e8);
@@ -84,6 +97,99 @@ int cmd_wmin(const util::Cli& cli) {
               static_cast<unsigned long long>(res.m_min), res.iterations);
   std::printf("verification: chip yield at W_min = %.4f\n",
               res.verification.yield_exact);
+  return 0;
+}
+
+unsigned resolve_threads(const util::Cli& cli) {
+  const long t = cli.get_long("threads", 0);
+  return t <= 0 ? 0u : static_cast<unsigned>(t);
+}
+
+yield::FlowParams resolve_flow_params(const util::Cli& cli) {
+  yield::FlowParams params;
+  params.yield_desired = cli.get_double("yield", params.yield_desired);
+  params.chip_transistors =
+      cli.get_double("chip-m", params.chip_transistors);
+  params.mc_samples = static_cast<std::size_t>(
+      cli.get_long("mc-samples", static_cast<long>(params.mc_samples)));
+  params.seed = static_cast<std::uint64_t>(cli.get_long("seed", 1));
+  params.n_threads = resolve_threads(cli);
+  const long streams =
+      cli.get_long("streams", static_cast<long>(params.mc_streams));
+  params.mc_streams = streams < 1 ? 1u : static_cast<unsigned>(streams);
+  return params;
+}
+
+int cmd_flow(const util::Cli& cli) {
+  const auto lib = resolve_library(cli);
+  const auto design = resolve_design(cli, lib);
+  const auto model = resolve_model(cli);
+  const auto params = resolve_flow_params(cli);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = yield::run_flow(lib, design, model, params);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::cout << res.summary_table().to_text();
+  std::printf(
+      "%lld ms on %u thread(s), %u MC stream(s), seed %llu "
+      "(numbers depend on seed+streams only)\n",
+      static_cast<long long>(ms),
+      params.n_threads == 0 ? exec::hardware_threads() : params.n_threads,
+      params.mc_streams, static_cast<unsigned long long>(params.seed));
+  return 0;
+}
+
+int cmd_batch(const util::Cli& cli) {
+  const auto lib = resolve_library(cli);
+  const auto design = resolve_design(cli, lib);
+  const auto model = resolve_model(cli);
+  const auto base = resolve_flow_params(cli);
+
+  std::vector<double> yields;
+  for (const auto& tok : util::split(cli.get("yields", "0.80,0.90,0.95"), ',')) {
+    if (!tok.empty()) yields.push_back(util::parse_double(tok));
+  }
+  if (yields.empty()) {
+    std::fprintf(stderr, "error: --yields parsed to an empty sweep\n");
+    return 2;
+  }
+
+  std::vector<yield::FlowJob> jobs;
+  for (double y : yields) {
+    yield::FlowJob job;
+    job.design = &design;
+    job.params = base;
+    job.params.yield_desired = y;
+    jobs.push_back(job);
+  }
+  yield::BatchParams batch;
+  batch.n_threads = resolve_threads(cli);
+  batch.share_interpolant = !cli.has("no-interp");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = yield::run_flow_batch(lib, jobs, model, batch);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+  util::Table t("Yield-target sweep (aligned-active, 1 row)");
+  t.header({"yield target", "W_min (nm)", "power penalty", "library area"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i].get(yield::Strategy::AlignedOneRow);
+    // Named lvalue sidesteps GCC 12's -Wrestrict false positive on
+    // operator+(const char*, std::string&&) (GCC bug 105329).
+    const std::string area = util::format_pct(r.area_penalty);
+    t.begin_row()
+        .num(yields[i], 3)
+        .num(r.w_min, 4)
+        .cell(util::format_pct(r.power_penalty))
+        .cell("+" + area);
+  }
+  std::cout << t.to_text();
+  std::printf("%zu designs x 4 strategies in %lld ms (%s p_F interpolant)\n",
+              results.size(), static_cast<long long>(ms),
+              batch.share_interpolant ? "shared" : "no shared");
   return 0;
 }
 
@@ -131,8 +237,9 @@ int cmd_gen_design(const util::Cli& cli) {
 
 int usage() {
   std::puts(
-      "usage: cntyield_cli <pf|wmin|scaling|table1|table2|align|gen-lib|"
-      "gen-design> [flags]\n  see the header of tools/cntyield_cli.cpp for "
+      "usage: cntyield_cli <pf|wmin|flow|batch|scaling|table1|table2|align|"
+      "gen-lib|gen-design> [flags]\n  flow/batch: --threads=N (0 = hardware "
+      "concurrency)\n  see the header of tools/cntyield_cli.cpp for "
       "per-command flags");
   return 2;
 }
@@ -147,6 +254,8 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "pf") return cmd_pf(cli);
     if (cmd == "wmin") return cmd_wmin(cli);
+    if (cmd == "flow") return cmd_flow(cli);
+    if (cmd == "batch") return cmd_batch(cli);
     if (cmd == "align") return cmd_align(cli);
     if (cmd == "gen-lib") return cmd_gen_lib(cli);
     if (cmd == "gen-design") return cmd_gen_design(cli);
