@@ -68,6 +68,31 @@ BENCHMARK(BM_FlowBatchSweep)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Single-design run_flow with the bracket-scoped interpolant opt-in
+// (FlowParams::use_interpolant): Arg 0 = exact p_F per solver query,
+// Arg 1 = one 65-knot table up front, answered from the snapshot after.
+void BM_SingleFlowInterpolant(benchmark::State& state) {
+  static const cny::celllib::Library lib = cny::celllib::make_nangate45_like();
+  static const cny::netlist::Design design =
+      cny::netlist::make_openrisc_like(lib);
+  const cny::experiments::PaperParams paper;
+  cny::yield::FlowParams params;
+  params.use_interpolant = state.range(0) != 0;
+  for (auto _ : state) {
+    // Fresh model per iteration: measure the cold cost a new process/param
+    // set pays, not replays against an already-warm memo cache.
+    state.PauseTiming();
+    const auto cold_model = paper.failure_model();
+    state.ResumeTiming();
+    const auto res = cny::yield::run_flow(lib, design, cold_model, params);
+    benchmark::DoNotOptimize(res.strategies.size());
+  }
+}
+BENCHMARK(BM_SingleFlowInterpolant)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

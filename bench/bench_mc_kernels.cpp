@@ -4,7 +4,10 @@
 // scaling the library up.
 #include <benchmark/benchmark.h>
 
+#include "cnt/count_distribution.h"
 #include "cnt/growth.h"
+#include "cnt/pf_kernel.h"
+#include "cnt/process.h"
 #include "exec/parallel_mc.h"
 #include "rng/distributions.h"
 #include "rng/engine.h"
@@ -15,6 +18,58 @@
 namespace {
 
 using namespace cny;
+
+// --- analytic p_F kernels (cnt/pf_kernel.h) --------------------------------
+// The same quantity two ways: the full-PMF path (materialise the whole
+// count distribution, then form the PGF) vs the truncated node-major
+// kernel. Same quadrature grid, results agree to ≤1e-12 relative; the gap
+// is the point of the kernel and grows with W.
+
+void BM_PfExact(benchmark::State& state) {
+  const cnt::PitchModel pitch(4.0, 0.9);
+  const double z = cnt::fig21_worst().p_fail();
+  const double w = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const cnt::CountDistribution dist(pitch, w);
+    benchmark::DoNotOptimize(dist.pgf(z));
+  }
+}
+BENCHMARK(BM_PfExact)
+    ->Arg(155)
+    ->Arg(500)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PfTruncated(benchmark::State& state) {
+  const cnt::PitchModel pitch(4.0, 0.9);
+  const double z = cnt::fig21_worst().p_fail();
+  const double w = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cnt::pf_truncated(pitch, w, z).value);
+  }
+}
+BENCHMARK(BM_PfTruncated)
+    ->Arg(155)
+    ->Arg(500)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+// The Poisson-shape special case (integer Gamma shape k = 1), where the
+// truncated kernel steps Q(nk, x) with an exact recurrence: each extra PMF
+// term costs one multiply per node instead of one incomplete gamma.
+void BM_PfTruncatedPoisson(benchmark::State& state) {
+  const cnt::PitchModel pitch(4.0, 1.0);
+  const double z = cnt::fig21_worst().p_fail();
+  const double w = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cnt::pf_truncated(pitch, w, z).value);
+  }
+}
+BENCHMARK(BM_PfTruncatedPoisson)
+    ->Arg(155)
+    ->Arg(500)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Xoshiro(benchmark::State& state) {
   rng::Xoshiro256 rng(1);

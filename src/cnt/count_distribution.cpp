@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cnt/pf_kernel.h"
 #include "numeric/integrate.h"
 #include "numeric/special.h"
 #include "util/contracts.h"
@@ -30,6 +31,7 @@ CountDistribution::CountDistribution(const PitchModel& pitch, double width)
 
   if (width == 0.0) {
     pmf_ = {1.0};
+    suffix_ = {1.0};
     total_ = 1.0;
     return;
   }
@@ -98,6 +100,15 @@ CountDistribution::CountDistribution(const PitchModel& pitch, double width)
     m2 += dn * dn * pmf_[n];
   }
   var_ = std::max(0.0, m2 - mean_ * mean_);
+
+  // Suffix sums make tail() O(1); summing the tail upward keeps the tiny
+  // deep-tail entries relatively accurate before the bulk mass joins.
+  suffix_.resize(pmf_.size());
+  double tail_acc = 0.0;
+  for (std::size_t i = pmf_.size(); i-- > 0;) {
+    tail_acc += pmf_[i];
+    suffix_[i] = std::min(1.0, tail_acc);
+  }
 }
 
 double CountDistribution::pmf(long n) const {
@@ -108,11 +119,8 @@ double CountDistribution::pmf(long n) const {
 
 double CountDistribution::tail(long n) const {
   CNY_EXPECT(n >= 0);
-  double acc = 0.0;
-  for (std::size_t i = static_cast<std::size_t>(n); i < pmf_.size(); ++i) {
-    acc += pmf_[i];
-  }
-  return std::min(1.0, acc);
+  const auto idx = static_cast<std::size_t>(n);
+  return idx < suffix_.size() ? suffix_[idx] : 0.0;
 }
 
 double CountDistribution::pgf(double z) const {
@@ -124,6 +132,11 @@ double CountDistribution::pgf(double z) const {
     zn *= z;
   }
   return acc;
+}
+
+double CountDistribution::pgf_at(const PitchModel& pitch, double width,
+                                 double z) {
+  return pf_truncated(pitch, width, z).value;
 }
 
 }  // namespace cny::cnt

@@ -1,11 +1,26 @@
 #include "device/failure_model.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 
+#include "cnt/pf_kernel.h"
 #include "exec/thread_pool.h"
 #include "util/contracts.h"
 
 namespace cny::device {
+
+namespace {
+
+/// Sorted-vector memo lookup: iterator to the entry for `width`, or the
+/// insertion point when absent.
+auto memo_find(std::vector<std::pair<double, double>>& memo, double width) {
+  return std::lower_bound(
+      memo.begin(), memo.end(), width,
+      [](const std::pair<double, double>& e, double w) { return e.first < w; });
+}
+
+}  // namespace
 
 FailureModel::FailureModel(cnt::PitchModel pitch, cnt::ProcessParams process)
     : pitch_(pitch), process_(process) {
@@ -15,51 +30,55 @@ FailureModel::FailureModel(cnt::PitchModel pitch, cnt::ProcessParams process)
 FailureModel::FailureModel(const FailureModel& other)
     : pitch_(other.pitch_), process_(other.process_) {
   // pitch_/process_ are immutable after construction (assignment is
-  // deleted), so reading them above without other's lock is safe; only the
-  // mutable caches need it.
-  const std::lock_guard<std::mutex> lock(other.mutex_);
-  cache_ = other.cache_;
-  interp_ = other.interp_;
+  // deleted), so reading them above without synchronisation is safe; the
+  // mutable caches are copied through their own synchronisation.
+  auto interp = other.interp_.load(std::memory_order_acquire);
+  const bool has = interp != nullptr;
+  interp_.store(std::move(interp), std::memory_order_release);
+  has_interp_.store(has, std::memory_order_release);
+  const std::shared_lock<std::shared_mutex> lock(other.memo_mutex_);
+  memo_ = other.memo_;
 }
 
 std::shared_ptr<const FailureModel::LogPfInterp> FailureModel::interpolant()
     const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return interp_;
+  return interp_.load(std::memory_order_acquire);
 }
 
 double FailureModel::p_f(double width) const {
   CNY_EXPECT(width >= 0.0);
-  // One lock acquisition covers both the interpolant check and the memo
-  // lookup — this is the hottest read path in the solvers.
-  std::shared_ptr<const LogPfInterp> interp;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (interp_ && width >= interp_->w_lo && width <= interp_->w_hi) {
-      interp = interp_;
-    } else if (const auto it = cache_.find(width); it != cache_.end()) {
-      return it->second;
+  // Hottest read path in the solvers: a relaxed flag probe, then (only
+  // with a table installed) one atomic shared_ptr load — no lock either
+  // way. Concurrent enable_interpolation() publishes a fully built table
+  // before raising the flag, so a snapshot is always safe to evaluate;
+  // racing readers that miss the flag simply take the exact path.
+  if (has_interp_.load(std::memory_order_relaxed)) {
+    if (const auto interp = interp_.load(std::memory_order_acquire);
+        interp && width >= interp->w_lo && width <= interp->w_hi) {
+      return std::exp(interp->log_pf(width));
     }
   }
-  if (interp) return std::exp(interp->log_pf(width));
   return p_f_exact(width);
 }
 
 double FailureModel::p_f_exact(double width) const {
   CNY_EXPECT(width >= 0.0);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (const auto it = cache_.find(width); it != cache_.end()) {
+    const std::shared_lock<std::shared_mutex> lock(memo_mutex_);
+    if (const auto it = memo_find(memo_, width);
+        it != memo_.end() && it->first == width) {
       return it->second;
     }
   }
-  // Evaluate outside the lock: the PGF costs ~10^4 incomplete gammas, and
-  // p_F is a pure function, so concurrent duplicate work is merely wasted
-  // effort, never an inconsistency.
-  const cnt::CountDistribution dist(pitch_, width);
-  const double value = dist.pgf(process_.p_fail());
-  const std::lock_guard<std::mutex> lock(mutex_);
-  cache_.emplace(width, value);
+  // Evaluate outside any lock: p_F is a pure function, so concurrent
+  // duplicate work is merely wasted effort, never an inconsistency.
+  const double value =
+      cnt::pf_truncated(pitch_, width, process_.p_fail()).value;
+  const std::unique_lock<std::shared_mutex> lock(memo_mutex_);
+  if (const auto it = memo_find(memo_, width);
+      it == memo_.end() || it->first != width) {
+    memo_.insert(it, {width, value});
+  }
   return value;
 }
 
@@ -68,14 +87,14 @@ void FailureModel::enable_interpolation(double w_lo, double w_hi,
                                         unsigned n_threads) const {
   CNY_EXPECT(w_lo > 0.0 && w_hi > w_lo);
   CNY_EXPECT(knots >= 4);
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (interp_ && interp_->w_lo <= w_lo && interp_->w_hi >= w_hi) return;
+  if (const auto cur = interp_.load(std::memory_order_acquire);
+      cur && cur->w_lo <= w_lo && cur->w_hi >= w_hi) {
+    return;
   }
-  // Geometric knot spacing: the exact evaluation costs O(W) (the count
-  // distribution carries ~W/μ_S terms), while log p_F(W) is nearly linear
-  // at large W (Fig 2.1) — so spend the knots where they are cheap AND
-  // where the curvature lives.
+  // Geometric knot spacing: the exact evaluation cost grows with W (the
+  // truncated kernel still walks O(p_f·W/μ_S) terms), while log p_F(W) is
+  // nearly linear at large W (Fig 2.1) — so spend the knots where they are
+  // cheap AND where the curvature lives.
   std::vector<double> xs(knots), ys(knots);
   const double ratio = w_hi / w_lo;
   for (std::size_t i = 0; i < knots; ++i) {
@@ -87,13 +106,17 @@ void FailureModel::enable_interpolation(double w_lo, double w_hi,
                      [&](std::size_t i) { ys[i] = std::log(p_f_exact(xs[i])); });
   auto built = std::make_shared<const LogPfInterp>(
       LogPfInterp{w_lo, w_hi, numeric::MonotoneCubic(std::move(xs), std::move(ys))});
-  const std::lock_guard<std::mutex> lock(mutex_);
   // If a racing builder already installed a table covering this request,
-  // keep it; otherwise install ours so the requested range is served.
+  // keep it; otherwise publish ours so the requested range is served.
   // (One table at a time: a later call for a different range replaces it.)
-  if (!interp_ || !(interp_->w_lo <= w_lo && interp_->w_hi >= w_hi)) {
-    interp_ = std::move(built);
+  auto cur = interp_.load(std::memory_order_acquire);
+  while (!(cur && cur->w_lo <= w_lo && cur->w_hi >= w_hi)) {
+    if (interp_.compare_exchange_weak(cur, built, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      break;
+    }
   }
+  has_interp_.store(true, std::memory_order_release);
 }
 
 bool FailureModel::interpolation_covers(double width) const {
@@ -110,12 +133,11 @@ double FailureModel::p_f_poisson_closed_form(double width) const {
 
 stats::Interval FailureModel::p_f_monte_carlo(double width,
                                               std::size_t n_devices,
-                                              rng::Xoshiro256& rng) const {
+                                              rng::Xoshiro256& rng,
+                                              double margin) const {
   CNY_EXPECT(width > 0.0);
   CNY_EXPECT(n_devices >= 1);
-  // Margin above/below the window so stationarity is honest even though we
-  // start the renewal at the band edge.
-  const double margin = 0.0;
+  CNY_EXPECT(margin >= 0.0);
   std::size_t failures = 0;
   const cnt::DirectionalGrowth growth(pitch_, process_, /*cnt_length=*/1.0e6);
   for (std::size_t i = 0; i < n_devices; ++i) {

@@ -7,12 +7,15 @@
 //
 //   p_F(W) = Σ_N  p_f^N · Prob{N(W) = N}  =  G_{N(W)}(p_f)
 //
-// i.e. the count distribution's probability generating function at p_f.
+// i.e. the count distribution's probability generating function at p_f,
+// evaluated through the truncated node-major kernel of cnt/pf_kernel.h.
 #pragma once
 
-#include <map>
+#include <atomic>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
 
 #include "cnt/count_distribution.h"
 #include "cnt/growth.h"
@@ -28,8 +31,8 @@ class FailureModel {
  public:
   FailureModel(cnt::PitchModel pitch, cnt::ProcessParams process);
 
-  // The memo cache and interpolant are guarded by an internal mutex, so a
-  // mutex-free default copy is not available; copies share nothing.
+  // The memo cache and interpolant are internally synchronised, so a
+  // member-wise default copy is not available; copies share nothing.
   // Assignment is deleted on purpose: pitch/process are immutable after
   // construction, which is what makes their lock-free reads on the hot
   // p_f path safe under concurrency.
@@ -41,15 +44,16 @@ class FailureModel {
   [[nodiscard]] double p_fail_per_cnt() const { return process_.p_fail(); }
 
   /// Analytic p_F(W), eq. (2.2). Results are memoised per width because the
-  /// count distribution behind each evaluation costs ~10^4 incomplete-gamma
-  /// evaluations and the solvers re-query the same widths. Thread-safe:
-  /// concurrent callers (the batch flow, the parallel MC kernels) may hit
-  /// the cache simultaneously. When interpolation is enabled and `width`
-  /// falls inside its range, the cached interpolant answers instead.
+  /// solvers re-query the same widths. The read path is lock-light so
+  /// concurrent solver threads never serialise: when interpolation is
+  /// enabled and `width` falls inside its range, an atomically loaded
+  /// interpolant snapshot answers with no lock at all; otherwise the memo
+  /// is consulted under a shared (reader) lock.
   [[nodiscard]] double p_f(double width) const;
 
-  /// Always the exact PGF evaluation, bypassing any enabled interpolant
-  /// (still memoised and thread-safe).
+  /// Always the analytic evaluation (the certified-truncation PGF kernel,
+  /// exact to ~1e-12 relative), bypassing any enabled interpolant. Memoised
+  /// and thread-safe.
   [[nodiscard]] double p_f_exact(double width) const;
 
   /// Builds (first call) a monotone-cubic interpolant of log p_F over
@@ -74,11 +78,15 @@ class FailureModel {
 
   /// Monte Carlo estimate of p_F(W): grows tube populations over many
   /// device instances and counts devices with zero functional tubes.
-  /// Practical only when p_F is not too rare (validation at small W /
-  /// large p_f).
+  /// `margin` (nm, >= 0) extends the grown band above and below the window
+  /// so stationarity is honest even though the renewal starts at the band
+  /// edge (the equilibrium first-gap draw already guarantees it; a nonzero
+  /// margin makes the check independent of that guarantee). Practical only
+  /// when p_F is not too rare (validation at small W / large p_f).
   [[nodiscard]] stats::Interval p_f_monte_carlo(double width,
                                                 std::size_t n_devices,
-                                                rng::Xoshiro256& rng) const;
+                                                rng::Xoshiro256& rng,
+                                                double margin = 0.0) const;
 
   /// Expected CNT count in a device of width W (= W/μ_S for the stationary
   /// process).
@@ -95,9 +103,17 @@ class FailureModel {
 
   cnt::PitchModel pitch_;
   cnt::ProcessParams process_;
-  mutable std::mutex mutex_;                       ///< guards cache_/interp_
-  mutable std::map<double, double> cache_;
-  mutable std::shared_ptr<const LogPfInterp> interp_;
+  /// Interpolant snapshot, swapped in atomically so the hottest read path
+  /// (in-range p_f under the batch flows) takes no lock whatsoever.
+  /// `has_interp_` fronts it: a relaxed bool load keeps the no-interpolant
+  /// p_f() fast path from paying the shared_ptr atomic (which libstdc++
+  /// backs with a spinlock pool) on every memoised query.
+  mutable std::atomic<bool> has_interp_{false};
+  mutable std::atomic<std::shared_ptr<const LogPfInterp>> interp_;
+  /// Exact-value memo: widths sorted for binary search, readers under a
+  /// shared lock so concurrent cache hits proceed in parallel.
+  mutable std::shared_mutex memo_mutex_;
+  mutable std::vector<std::pair<double, double>> memo_;
 };
 
 }  // namespace cny::device

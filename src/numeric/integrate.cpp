@@ -57,6 +57,10 @@ double integrate_adaptive(const std::function<double(double)>& f, double a,
   return sign * adaptive_step(f, a, fa, b, fb, m, fm, whole, abs_tol, max_depth);
 }
 
+const std::array<double, 8>& gl16_nodes() { return kGlNodes; }
+
+const std::array<double, 8>& gl16_weights() { return kGlWeights; }
+
 double integrate_gl(const std::function<double(double)>& f, double a, double b,
                     int panels) {
   CNY_EXPECT(panels >= 1);

@@ -2,6 +2,7 @@
 // Gauss–Legendre panels (fast path for the smooth renewal-equation kernels).
 #pragma once
 
+#include <array>
 #include <functional>
 
 namespace cny::numeric {
@@ -18,5 +19,12 @@ namespace cny::numeric {
 /// Gamma-kernel integrals in the CNT count model.
 [[nodiscard]] double integrate_gl(const std::function<double(double)>& f,
                                   double a, double b, int panels = 8);
+
+/// The 16-point rule behind integrate_gl: nodes/weights of the positive half
+/// of [-1, 1] (the full rule mirrors them about 0). Exposed so node-major
+/// kernels (cnt/pf_kernel.h) can evaluate on integrate_gl's exact grid while
+/// caching per-node state across many integrands.
+[[nodiscard]] const std::array<double, 8>& gl16_nodes();
+[[nodiscard]] const std::array<double, 8>& gl16_weights();
 
 }  // namespace cny::numeric

@@ -86,10 +86,30 @@ double directional_relaxation(const netlist::Design& design,
 
 FlowResult run_flow(const celllib::Library& lib,
                     const netlist::Design& design,
-                    const device::FailureModel& model,
+                    const device::FailureModel& orig_model,
                     const FlowParams& params) {
   CNY_EXPECT(&design.library() == &lib);
   CNY_EXPECT(params.chip_transistors > 0.0);
+
+  // Opt-in bracket-scoped interpolant (ROADMAP "solver hot path"): every
+  // p_F query any strategy's solver makes lives inside the W bracket, so
+  // one table amortises them all. Installed on a local copy unless the
+  // caller's model already covers the bracket (e.g. run_flow_batch's
+  // shared table), so the caller's exactness is never altered.
+  std::optional<device::FailureModel> interp_model;
+  const device::FailureModel* eval_model = &orig_model;
+  if (params.use_interpolant) {
+    const WminRequest bracket;
+    if (!orig_model.interpolation_covers(bracket.w_lo) ||
+        !orig_model.interpolation_covers(bracket.w_hi)) {
+      interp_model.emplace(orig_model);
+      interp_model->enable_interpolation(bracket.w_lo, bracket.w_hi,
+                                         params.interpolant_knots,
+                                         params.n_threads);
+      eval_model = &*interp_model;
+    }
+  }
+  const device::FailureModel& model = *eval_model;
 
   auto spectrum = design.width_spectrum();
   spectrum = scale_spectrum(

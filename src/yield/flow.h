@@ -49,6 +49,17 @@ struct FlowParams {
   /// (seed, mc_streams) only. 1 reproduces the pre-exec-subsystem serial
   /// numbers bit-for-bit (stream 0 is the legacy serial order).
   unsigned mc_streams = 16;
+  /// Route p_F(W) queries through a bracket-scoped log-p_F interpolant
+  /// built over the solver's W bracket (on a flow-local copy of the model —
+  /// the caller's model keeps answering exactly). The knots are exact
+  /// truncated-kernel evaluations, so the table costs `interpolant_knots`
+  /// queries up front and repays them across every solver bracket step of
+  /// every strategy; W_min shifts only by the interpolation error
+  /// (~1e-4 nm with the default knot count). Defaults to off: exactness is
+  /// the single-design default, batching is where the table is shared
+  /// (run_flow_batch / BatchParams::share_interpolant).
+  bool use_interpolant = false;
+  std::size_t interpolant_knots = 65;
 };
 
 struct StrategyResult {

@@ -118,6 +118,19 @@ TEST(CountDistribution, MonteCarloAgreement) {
   }
 }
 
+TEST(CountDistribution, TailSuffixSumsConsistentEverywhere) {
+  // tail() is precomputed suffix sums; every entry must match the direct
+  // summation definition and vanish past the support.
+  const CountDistribution d(PitchModel(4.0, 0.9), 60.0);
+  for (long n = d.max_n() + 2; n-- > 0;) {
+    double direct = 0.0;
+    for (long i = n; i <= d.max_n(); ++i) direct += d.pmf(i);
+    EXPECT_NEAR(d.tail(n), std::min(1.0, direct), 1e-12) << "n=" << n;
+  }
+  EXPECT_DOUBLE_EQ(d.tail(d.max_n() + 1), 0.0);
+  EXPECT_DOUBLE_EQ(d.tail(d.max_n() + 100), 0.0);
+}
+
 TEST(CountDistribution, PmfOutOfRangeIsZero) {
   const CountDistribution d(PitchModel(4.0, 0.9), 20.0);
   EXPECT_DOUBLE_EQ(d.pmf(d.max_n() + 1), 0.0);

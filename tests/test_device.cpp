@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
+#include "cnt/count_distribution.h"
 #include "device/drive_current.h"
 #include "device/failure_model.h"
 #include "util/contracts.h"
@@ -100,6 +104,73 @@ TEST(FailureModel, CacheReturnsIdenticalValues) {
   const double a = model.p_f(123.0);
   const double b = model.p_f(123.0);
   EXPECT_EQ(a, b);
+}
+
+TEST(FailureModel, ExactPathMatchesFullPmfPgf) {
+  // p_f_exact now runs the truncated kernel; it must agree with the
+  // full-PMF reference evaluation to ≤ 1e-12 relative on the Fig 2.1 grid.
+  const cny::cnt::PitchModel pitch(4.0, 0.9);
+  const auto proc = cny::cnt::fig21_worst();
+  const FailureModel model(pitch, proc);
+  for (double w = 20.0; w <= 180.0; w += 16.0) {
+    const cny::cnt::CountDistribution full(pitch, w);
+    const double reference = full.pgf(proc.p_fail());
+    EXPECT_LE(std::fabs(model.p_f_exact(w) - reference) / reference, 1e-12)
+        << "w=" << w;
+  }
+}
+
+TEST(FailureModel, MonteCarloMarginMatchesAnalytic) {
+  // A stationarity margin above/below the window must not change what the
+  // estimator converges to (the equilibrium first-gap draw already makes
+  // the band stationary; the margin makes that independent of the draw).
+  const auto model = paper_model();
+  cny::rng::Xoshiro256 rng(92);
+  const double w = 24.0;  // p_F ~ 1e-2
+  const auto ci = model.p_f_monte_carlo(w, 40000, rng, /*margin=*/8.0);
+  const double analytic = model.p_f(w);
+  EXPECT_TRUE(ci.contains(analytic))
+      << "analytic=" << analytic << " ci=[" << ci.lo << "," << ci.hi << "]";
+  EXPECT_THROW(model.p_f_monte_carlo(w, 100, rng, -1.0),
+               cny::ContractViolation);
+}
+
+TEST(FailureModel, LockLightReadPathSurvivesThreadHammer) {
+  // Concurrent p_f readers race enable_interpolation installs of several
+  // ranges. Every answer must be finite, in (0, 1], and consistent with
+  // the exact value to interpolation accuracy; afterwards the exact path
+  // must still serve bit-identical memoised values.
+  const auto model = paper_model();
+  const double exact_ref[] = {model.p_f_exact(20.0), model.p_f_exact(60.0),
+                              model.p_f_exact(100.0), model.p_f_exact(140.0),
+                              model.p_f_exact(180.0)};
+  const double widths[] = {20.0, 60.0, 100.0, 140.0, 180.0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 400; ++i) {
+        if (t >= 6 && i % 50 == 0) {
+          // Builders: install/replace tables over alternating ranges.
+          const double lo = (i % 100 == 0) ? 10.0 : 15.0;
+          model.enable_interpolation(lo, 200.0, 33);
+        }
+        const std::size_t which = static_cast<std::size_t>(i) % 5;
+        const double pf = model.p_f(widths[which]);
+        // Interpolation error on log p_F is well under 1% over this range;
+        // anything outside is a torn read or a broken snapshot.
+        if (!std::isfinite(pf) || pf <= 0.0 || pf > 1.0 ||
+            std::fabs(std::log(pf) - std::log(exact_ref[which])) > 0.01) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(model.p_f_exact(widths[i]), exact_ref[i]);
+  }
 }
 
 // --------------------------------------------------------------- current

@@ -36,6 +36,30 @@ TEST(FlowSmoke, StrategiesComeBackInEnumOrder) {
   EXPECT_EQ(strategies[3].strategy, yield::Strategy::AlignedTwoRows);
 }
 
+TEST(FlowSmoke, InterpolantOptInTracksExactFlow) {
+  // FlowParams::use_interpolant must reproduce the exact flow to
+  // interpolation accuracy (W_min within ~1e-3 nm relative), leave the
+  // caller's model untouched, and keep the strategy order contract.
+  const auto lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  const device::FailureModel model(cnt::PitchModel(4.0, 0.9),
+                                   cnt::fig21_worst());
+  yield::FlowParams params;
+  params.mc_samples = 2000;
+  const auto exact = smoke_result();
+  params.use_interpolant = true;
+  const auto interp = yield::run_flow(lib, design, model, params);
+  EXPECT_FALSE(model.interpolation_covers(100.0))
+      << "run_flow must not install the table on the caller's model";
+  ASSERT_EQ(interp.strategies.size(), exact.strategies.size());
+  for (std::size_t i = 0; i < interp.strategies.size(); ++i) {
+    EXPECT_EQ(interp.strategies[i].strategy, exact.strategies[i].strategy);
+    EXPECT_NEAR(interp.strategies[i].w_min / exact.strategies[i].w_min, 1.0,
+                1e-3)
+        << "strategy " << yield::to_string(interp.strategies[i].strategy);
+  }
+}
+
 TEST(FlowSmoke, SummaryTableIsNonEmpty) {
   const auto table = smoke_result().summary_table();
   EXPECT_EQ(table.n_rows(), 4u);

@@ -5,12 +5,15 @@ regression report.
 Usage:
   tools/bench_compare.py BEFORE.json AFTER.json [--threshold=0.10]
   tools/bench_compare.py bench/baselines/before bench/baselines/after
+  tools/bench_compare.py baseline.json fresh.json --fail-above 300
 
 When given directories, files with matching names are compared pairwise
-(benchmarks present on only one side are listed, not compared). Exits 1 if
-any benchmark slowed down by more than the threshold (default 10 %) and
---fail-on-regress is set; always exits 0 otherwise so it can run
-informationally in CI.
+(benchmarks present on only one side are listed, not compared).
+
+Exit status: 1 when --fail-above PCT is given and any benchmark slowed
+down by more than PCT percent (a hard regression gate), or when
+--fail-on-regress is set and any benchmark exceeds --threshold; 0
+otherwise, so the default invocation can run informationally in CI.
 """
 
 import argparse
@@ -41,9 +44,11 @@ def fmt_ns(ns):
 
 
 def compare(before, after, threshold):
-    """Returns (rows, regression_count); rows are printable tuples."""
+    """Returns (rows, regression_count, ratios); rows are printable tuples
+    and ratios maps benchmark name -> after/before slowdown factor."""
     rows = []
     regressions = 0
+    ratios = {}
     for name in sorted(set(before) | set(after)):
         if name not in after:
             rows.append((name, fmt_ns(before[name]), "-", "removed", ""))
@@ -53,6 +58,7 @@ def compare(before, after, threshold):
             continue
         b, a = before[name], after[name]
         ratio = a / b if b > 0 else float("inf")
+        ratios[name] = ratio
         flag = ""
         if ratio > 1.0 + threshold:
             flag = "REGRESSION"
@@ -60,7 +66,7 @@ def compare(before, after, threshold):
         elif ratio < 1.0 - threshold:
             flag = "improved"
         rows.append((name, fmt_ns(b), fmt_ns(a), f"{ratio:.2f}x", flag))
-    return rows, regressions
+    return rows, regressions, ratios
 
 
 def print_table(rows):
@@ -93,21 +99,29 @@ def main():
                         help="relative slowdown that counts as a regression")
     parser.add_argument("--fail-on-regress", action="store_true",
                         help="exit 1 when any regression exceeds the threshold")
+    parser.add_argument("--fail-above", type=float, default=None,
+                        metavar="PCT",
+                        help="hard gate: exit 1 when any benchmark slows "
+                             "down by more than PCT percent (independent of "
+                             "--threshold, which only affects reporting)")
     args = parser.parse_args()
 
     total_regressions = 0
+    all_ratios = {}
     if os.path.isdir(args.before) and os.path.isdir(args.after):
         for name in matching_files(args.before, args.after):
             print(f"== {name}")
-            rows, regs = compare(
+            rows, regs, ratios = compare(
                 load_benchmarks(os.path.join(args.before, name)),
                 load_benchmarks(os.path.join(args.after, name)),
                 args.threshold)
             print_table(rows)
             print()
             total_regressions += regs
+            for bench, ratio in ratios.items():
+                all_ratios[f"{name}:{bench}"] = ratio
     else:
-        rows, total_regressions = compare(
+        rows, total_regressions, all_ratios = compare(
             load_benchmarks(args.before), load_benchmarks(args.after),
             args.threshold)
         print_table(rows)
@@ -116,6 +130,22 @@ def main():
         print(f"\n{total_regressions} regression(s) beyond "
               f"{args.threshold:.0%}", file=sys.stderr)
         if args.fail_on_regress:
+            return 1
+    if args.fail_above is not None:
+        if not all_ratios:
+            # A gate that measured nothing must not pass: a renamed
+            # benchmark, a changed --benchmark_filter, or a truncated JSON
+            # would otherwise defeat the CI gate silently.
+            print("\nFAIL: --fail-above given but no benchmark exists on "
+                  "both sides; nothing was gated", file=sys.stderr)
+            return 1
+        limit = 1.0 + args.fail_above / 100.0
+        hard = {n: r for n, r in all_ratios.items() if r > limit}
+        if hard:
+            print(f"\nFAIL: {len(hard)} benchmark(s) slower than "
+                  f"--fail-above {args.fail_above:g}%:", file=sys.stderr)
+            for n, r in sorted(hard.items(), key=lambda kv: -kv[1]):
+                print(f"  {n}: {r:.2f}x", file=sys.stderr)
             return 1
     return 0
 
