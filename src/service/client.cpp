@@ -1,0 +1,146 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "service/server.h"
+
+namespace cny::service {
+
+namespace {
+
+[[noreturn]] void transport_fail(const std::string& message) {
+  throw ServiceError("transport", message);
+}
+
+}  // namespace
+
+YieldClient::YieldClient(YieldServer& server) : loopback_(&server) {}
+
+YieldClient::YieldClient(const std::string& host, std::uint16_t port,
+                         unsigned timeout_ms)
+    : timeout_ms_(timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &found);
+  if (rc != 0 || found == nullptr) {
+    transport_fail("cannot resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  fd_ = ::socket(found->ai_family, found->ai_socktype | SOCK_CLOEXEC,
+                 found->ai_protocol);
+  if (fd_ < 0) {
+    ::freeaddrinfo(found);
+    transport_fail(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, found->ai_addr, found->ai_addrlen) < 0) {
+    const std::string what = std::string("connect ") + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno);
+    ::freeaddrinfo(found);
+    ::close(fd_);
+    fd_ = -1;
+    transport_fail(what);
+  }
+  ::freeaddrinfo(found);
+}
+
+YieldClient::~YieldClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+YieldClient::YieldClient(YieldClient&& other) noexcept
+    : loopback_(other.loopback_), fd_(other.fd_),
+      timeout_ms_(other.timeout_ms_) {
+  other.loopback_ = nullptr;
+  other.fd_ = -1;
+}
+
+std::string YieldClient::roundtrip(std::string frame) {
+  if (loopback_ != nullptr) return loopback_->submit(std::move(frame)).get();
+
+  if (fd_ < 0) transport_fail("client connection is closed");
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t k =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (k <= 0) transport_fail(std::string("send: ") + std::strerror(errno));
+    sent += static_cast<std::size_t>(k);
+  }
+
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms_);
+  const auto read_full = [&](char* out, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - clock::now());
+      if (left.count() <= 0) transport_fail("response timed out");
+      pollfd pfd{fd_, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (r < 0 && errno != EINTR) {
+        transport_fail(std::string("poll: ") + std::strerror(errno));
+      }
+      if (r <= 0) continue;
+      const ssize_t k = ::recv(fd_, out + got, n - got, 0);
+      if (k <= 0) transport_fail("server closed the connection");
+      got += static_cast<std::size_t>(k);
+    }
+  };
+
+  std::string response(kHeaderBytes, '\0');
+  read_full(response.data(), kHeaderBytes);
+  const FrameHeader header = decode_header(response);
+  response.resize(kHeaderBytes + header.payload_size);
+  if (header.payload_size > 0) {
+    read_full(response.data() + kHeaderBytes, header.payload_size);
+  }
+  return response;
+}
+
+yield::FlowResult YieldClient::call(const FlowRequest& request) {
+  const Frame response = decode_frame(roundtrip(encode_flow_request(request)));
+  if (response.type == FrameType::Error) {
+    const auto info = error_from_payload(response.payload);
+    throw ServiceError(info.code, info.message);
+  }
+  if (response.type != FrameType::FlowResponse) {
+    throw ServiceError("unexpected_frame",
+                       "server answered with frame type " +
+                           std::to_string(static_cast<std::uint32_t>(
+                               response.type)));
+  }
+  return flow_result_from_json(Json::parse(response.payload));
+}
+
+std::string YieldClient::ping() {
+  const Frame response =
+      decode_frame(roundtrip(encode_frame(FrameType::Ping, "{}")));
+  if (response.type != FrameType::Pong) {
+    throw ServiceError("unexpected_frame", "ping was not answered with pong");
+  }
+  return response.payload;
+}
+
+void YieldClient::shutdown_server() {
+  const Frame response =
+      decode_frame(roundtrip(encode_frame(FrameType::Shutdown, "{}")));
+  if (response.type != FrameType::Pong) {
+    throw ServiceError("unexpected_frame",
+                       "shutdown was not acknowledged with pong");
+  }
+}
+
+}  // namespace cny::service

@@ -1,0 +1,67 @@
+// YieldClient — the blocking client library for the yield service.
+//
+// Two transports behind one call interface:
+//   * loopback — frames go straight into an in-process YieldServer's
+//     submit() path (full protocol, no socket); what tests/benches use.
+//   * TCP — one persistent connection to a `cntyield_cli serve` instance.
+//
+// Every call is synchronous: frame the request, send, block for the
+// response frame, decode. An Error frame surfaces as a thrown
+// ServiceError carrying the server's code and message.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace cny::service {
+
+class YieldServer;
+
+/// An error frame from the server, or a transport failure.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(std::string code, const std::string& message)
+      : std::runtime_error(code + ": " + message), code_(std::move(code)) {}
+
+  [[nodiscard]] const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+class YieldClient {
+ public:
+  /// In-process client over `server` (which must outlive the client).
+  explicit YieldClient(YieldServer& server);
+  /// TCP client; connects immediately, throws ServiceError on failure.
+  /// `timeout_ms` bounds each response wait (flow responses included, so
+  /// leave headroom for the server's compute).
+  YieldClient(const std::string& host, std::uint16_t port,
+              unsigned timeout_ms = 300000);
+  ~YieldClient();
+  YieldClient(YieldClient&& other) noexcept;
+  YieldClient& operator=(YieldClient&&) = delete;
+  YieldClient(const YieldClient&) = delete;
+  YieldClient& operator=(const YieldClient&) = delete;
+
+  /// Runs one flow request; throws ServiceError on an error frame.
+  [[nodiscard]] yield::FlowResult call(const FlowRequest& request);
+
+  /// Liveness probe; returns the server's version payload (JSON text).
+  [[nodiscard]] std::string ping();
+
+  /// Asks the server to shut down cleanly; returns once acknowledged.
+  void shutdown_server();
+
+ private:
+  [[nodiscard]] std::string roundtrip(std::string frame);
+
+  YieldServer* loopback_ = nullptr;
+  int fd_ = -1;
+  unsigned timeout_ms_ = 300000;
+};
+
+}  // namespace cny::service

@@ -1,0 +1,287 @@
+#include "service/protocol.h"
+
+namespace cny::service {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'N', 'Y', 'S'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>((v >> 16) & 0xFF);
+  out += static_cast<char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t offset) {
+  return static_cast<std::uint32_t>(
+      static_cast<unsigned char>(bytes[offset]) |
+      (static_cast<unsigned char>(bytes[offset + 1]) << 8) |
+      (static_cast<unsigned char>(bytes[offset + 2]) << 16) |
+      (static_cast<unsigned char>(bytes[offset + 3]) << 24));
+}
+
+[[noreturn]] void fail(const std::string& what) { throw ProtocolError(what); }
+
+/// Wraps the accessor so a JsonError surfaces as a ProtocolError naming the
+/// field — the message a client actually sees in the error frame.
+template <typename Fn>
+auto field(const Json& v, std::string_view key, Fn&& get) {
+  try {
+    return get(v.at(key));
+  } catch (const JsonError& e) {
+    fail("field '" + std::string(key) + "': " + e.what());
+  }
+}
+
+double get_dbl(const Json& v, std::string_view key) {
+  return field(v, key, [](const Json& f) { return f.as_double(); });
+}
+
+std::uint64_t get_u64(const Json& v, std::string_view key) {
+  return field(v, key, [](const Json& f) { return f.as_u64(); });
+}
+
+std::string get_str(const Json& v, std::string_view key) {
+  return field(v, key, [](const Json& f) { return f.as_string(); });
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes) fail("payload exceeds frame limit");
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kProtocolVersion);
+  put_u32(out, static_cast<std::uint32_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+FrameHeader decode_header(std::string_view header) {
+  if (header.size() < kHeaderBytes) fail("truncated frame header");
+  if (header.substr(0, 4) != std::string_view(kMagic, 4)) {
+    fail("bad frame magic (not a cntyield service stream)");
+  }
+  if (const auto version = get_u32(header, 4); version != kProtocolVersion) {
+    fail("protocol version mismatch: peer speaks v" +
+         std::to_string(version) + ", this build speaks v" +
+         std::to_string(kProtocolVersion));
+  }
+  FrameHeader out;
+  const auto type = get_u32(header, 8);
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::FlowRequest:
+    case FrameType::FlowResponse:
+    case FrameType::Error:
+    case FrameType::Ping:
+    case FrameType::Pong:
+    case FrameType::Shutdown: break;
+    default: fail("unknown frame type " + std::to_string(type));
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload_size = get_u32(header, 12);
+  if (out.payload_size > kMaxPayloadBytes) {
+    fail("oversized frame: " + std::to_string(out.payload_size) + " bytes");
+  }
+  return out;
+}
+
+Frame decode_frame(std::string_view bytes) {
+  const FrameHeader header = decode_header(bytes);
+  if (bytes.size() != kHeaderBytes + header.payload_size) {
+    fail("frame length mismatch: header announces " +
+         std::to_string(header.payload_size) + " payload bytes, got " +
+         std::to_string(bytes.size() - kHeaderBytes));
+  }
+  return {header.type, std::string(bytes.substr(kHeaderBytes))};
+}
+
+Json to_json(const ProcessSpec& spec) {
+  Json v = Json::object();
+  v.set("pitch_mean_nm", Json::number(spec.pitch_mean_nm));
+  v.set("pitch_cv", Json::number(spec.pitch_cv));
+  v.set("p_metallic", Json::number(spec.p_metallic));
+  v.set("p_remove_s", Json::number(spec.p_remove_s));
+  return v;
+}
+
+Json to_json(const yield::FlowParams& params) {
+  Json v = Json::object();
+  v.set("yield_desired", Json::number(params.yield_desired));
+  v.set("chip_transistors", Json::number(params.chip_transistors));
+  v.set("l_cnt", Json::number(params.l_cnt));
+  v.set("fets_per_um", Json::number(params.fets_per_um));
+  v.set("active_spacing", Json::number(params.active_spacing));
+  v.set("mc_samples", Json::number(std::uint64_t{params.mc_samples}));
+  v.set("seed", Json::number(params.seed));
+  v.set("mc_streams", Json::number(std::uint64_t{params.mc_streams}));
+  return v;
+}
+
+Json to_json(const FlowRequest& request) {
+  Json v = Json::object();
+  v.set("library", Json::string(request.library));
+  v.set("design_instances", Json::number(request.design_instances));
+  v.set("process", to_json(request.process));
+  v.set("params", to_json(request.params));
+  return v;
+}
+
+Json to_json(const yield::FlowResult& result) {
+  Json v = Json::object();
+  v.set("m_r_min", Json::number(result.m_r_min));
+  v.set("m_min_uncorrelated", Json::number(result.m_min_uncorrelated));
+  Json strategies = Json::array();
+  for (const auto& r : result.strategies) {
+    Json s = Json::object();
+    s.set("strategy", Json::string(yield::to_string(r.strategy)));
+    s.set("relaxation", Json::number(r.relaxation));
+    s.set("w_min", Json::number(r.w_min));
+    s.set("power_penalty", Json::number(r.power_penalty));
+    s.set("area_penalty", Json::number(r.area_penalty));
+    s.set("cells_widened", Json::number(std::uint64_t{r.cells_widened}));
+    strategies.push_back(std::move(s));
+  }
+  v.set("strategies", std::move(strategies));
+  return v;
+}
+
+ProcessSpec process_from_json(const Json& v) {
+  ProcessSpec spec;
+  spec.pitch_mean_nm = get_dbl(v, "pitch_mean_nm");
+  spec.pitch_cv = get_dbl(v, "pitch_cv");
+  spec.p_metallic = get_dbl(v, "p_metallic");
+  spec.p_remove_s = get_dbl(v, "p_remove_s");
+  return spec;
+}
+
+yield::FlowParams flow_params_from_json(const Json& v) {
+  yield::FlowParams params;
+  params.yield_desired = get_dbl(v, "yield_desired");
+  params.chip_transistors = get_dbl(v, "chip_transistors");
+  params.l_cnt = get_dbl(v, "l_cnt");
+  params.fets_per_um = get_dbl(v, "fets_per_um");
+  params.active_spacing = get_dbl(v, "active_spacing");
+  params.mc_samples = static_cast<std::size_t>(get_u64(v, "mc_samples"));
+  params.seed = get_u64(v, "seed");
+  const std::uint64_t streams = get_u64(v, "mc_streams");
+  if (streams > 0xFFFFFFFFull) fail("field 'mc_streams': out of range");
+  params.mc_streams = static_cast<unsigned>(streams);
+  return params;
+}
+
+FlowRequest flow_request_from_json(const Json& v) {
+  try {
+    FlowRequest request;
+    request.library = get_str(v, "library");
+    request.design_instances = get_u64(v, "design_instances");
+    request.process = process_from_json(v.at("process"));
+    request.params = flow_params_from_json(v.at("params"));
+    return request;
+  } catch (const JsonError& e) {
+    fail(e.what());
+  }
+}
+
+yield::FlowResult flow_result_from_json(const Json& v) {
+  try {
+    yield::FlowResult result;
+    result.m_r_min = get_dbl(v, "m_r_min");
+    result.m_min_uncorrelated = get_u64(v, "m_min_uncorrelated");
+    for (const Json& s : v.at("strategies").items()) {
+      yield::StrategyResult r;
+      const std::string name = get_str(s, "strategy");
+      bool known = false;
+      for (const auto strat :
+           {yield::Strategy::Uncorrelated, yield::Strategy::DirectionalOnly,
+            yield::Strategy::AlignedOneRow, yield::Strategy::AlignedTwoRows}) {
+        if (name == yield::to_string(strat)) {
+          r.strategy = strat;
+          known = true;
+          break;
+        }
+      }
+      if (!known) fail("unknown strategy '" + name + "' in flow result");
+      r.relaxation = get_dbl(s, "relaxation");
+      r.w_min = get_dbl(s, "w_min");
+      r.power_penalty = get_dbl(s, "power_penalty");
+      r.area_penalty = get_dbl(s, "area_penalty");
+      r.cells_widened = static_cast<std::size_t>(get_u64(s, "cells_widened"));
+      result.strategies.push_back(r);
+    }
+    return result;
+  } catch (const JsonError& e) {
+    fail(e.what());
+  }
+}
+
+std::string encode_flow_request(const FlowRequest& request) {
+  return encode_frame(FrameType::FlowRequest, to_json(request).dump());
+}
+
+std::string encode_flow_response(const yield::FlowResult& result) {
+  return encode_frame(FrameType::FlowResponse, to_json(result).dump());
+}
+
+std::string encode_error(std::string_view code, std::string_view message) {
+  Json e = Json::object();
+  e.set("code", Json::string(std::string(code)));
+  e.set("message", Json::string(std::string(message)));
+  Json v = Json::object();
+  v.set("error", std::move(e));
+  return encode_frame(FrameType::Error, v.dump());
+}
+
+ServiceErrorInfo error_from_payload(std::string_view payload) {
+  try {
+    const Json v = Json::parse(payload);
+    const Json& e = v.at("error");
+    return {get_str(e, "code"), get_str(e, "message")};
+  } catch (const std::exception& ex) {
+    // JsonError from parse/at, or the ProtocolError get_str wraps it in:
+    // either way the peer broke the error shape, which must still surface
+    // as a ServiceError, never escape as a raw decode exception.
+    return {"malformed_error", std::string("unparseable error frame: ") +
+                                   ex.what()};
+  }
+}
+
+void validate(const FlowRequest& request) {
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) fail(std::string("invalid request: ") + what);
+  };
+  check(request.library == "nangate45" || request.library == "commercial65",
+        "library must be \"nangate45\" or \"commercial65\"");
+  check(request.design_instances <= 2'000'000,
+        "design_instances must be <= 2e6 (0 = default design)");
+  const ProcessSpec& p = request.process;
+  check(p.pitch_mean_nm > 0.0 && p.pitch_mean_nm <= 1000.0,
+        "pitch_mean_nm must be in (0, 1000]");
+  check(p.pitch_cv > 0.0 && p.pitch_cv <= 3.0, "pitch_cv must be in (0, 3]");
+  check(p.p_metallic >= 0.0 && p.p_metallic < 1.0,
+        "p_metallic must be in [0, 1)");
+  check(p.p_remove_s >= 0.0 && p.p_remove_s < 1.0,
+        "p_remove_s must be in [0, 1)");
+  // A CNT that can never fail makes p_F identically 0 and W_min undefined.
+  check(p.p_metallic + (1.0 - p.p_metallic) * p.p_remove_s > 0.0,
+        "process has zero per-CNT failure probability");
+  const yield::FlowParams& f = request.params;
+  check(f.yield_desired > 0.0 && f.yield_desired < 1.0,
+        "yield_desired must be in (0, 1)");
+  check(f.chip_transistors >= 1.0 && f.chip_transistors <= 1e16,
+        "chip_transistors must be in [1, 1e16]");
+  check(f.l_cnt > 0.0 && f.l_cnt <= 1e9, "l_cnt must be in (0, 1e9] nm");
+  check(f.fets_per_um > 0.0 && f.fets_per_um <= 1e4,
+        "fets_per_um must be in (0, 1e4]");
+  check(f.active_spacing >= 0.0 && f.active_spacing <= 1e6,
+        "active_spacing must be in [0, 1e6] nm");
+  check(f.mc_samples >= 1 && f.mc_samples <= 10'000'000,
+        "mc_samples must be in [1, 1e7]");
+  check(f.mc_streams >= 1 && f.mc_streams <= 4096,
+        "mc_streams must be in [1, 4096]");
+}
+
+}  // namespace cny::service

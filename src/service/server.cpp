@@ -1,0 +1,400 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "util/contracts.h"
+#include "yield/flow.h"
+
+namespace cny::service {
+
+namespace {
+
+/// Long waits are sliced so stop() is honoured within one slice.
+constexpr int kPollSliceMs = 200;
+
+std::string pong_payload() {
+  Json v = Json::object();
+  v.set("version", Json::string(kVersionString));
+  v.set("protocol", Json::number(std::uint64_t{kProtocolVersion}));
+  return v.dump();
+}
+
+std::future<std::string> ready_future(std::string frame) {
+  std::promise<std::string> promise;
+  promise.set_value(std::move(frame));
+  return promise.get_future();
+}
+
+}  // namespace
+
+struct YieldServer::Impl {
+  explicit Impl(ServerOptions opts)
+      : options(opts),
+        cache(opts.cache_capacity, opts.interpolant_knots, opts.n_threads) {}
+
+  ServerOptions options;
+  SessionCache cache;
+
+  struct Pending {
+    FlowRequest request;
+    std::promise<std::string> promise;
+  };
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Pending> queue;
+  /// Written only under queue_mutex (so enqueue-after-drain is impossible);
+  /// read lock-free by the I/O loops as their exit signal.
+  std::atomic<bool> stop_flag{false};
+  bool started = false;
+  bool stopped = false;
+
+  std::mutex shutdown_mutex;
+  std::condition_variable shutdown_cv;
+  bool shutdown_requested = false;
+
+  std::thread dispatcher;
+  std::thread acceptor;
+  std::optional<exec::ThreadPool> io_pool;
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+
+  mutable std::mutex stats_mutex;
+  ServerStats stats;
+
+  void bump(std::uint64_t ServerStats::* counter, std::uint64_t by = 1) {
+    const std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.*counter += by;
+  }
+
+  std::future<std::string> error_now(std::string_view code,
+                                     std::string_view message) {
+    bump(&ServerStats::errors);
+    return ready_future(encode_error(code, message));
+  }
+
+  void dispatch_loop() {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [&] {
+          return stop_flag.load(std::memory_order_relaxed) || !queue.empty();
+        });
+        if (stop_flag.load(std::memory_order_relaxed)) return;
+      }
+      // The coalescing window: let the rest of a burst arrive and join
+      // this cycle's batch. Responses are batching-invariant, so this
+      // only ever trades first-request latency for batch throughput.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options.coalesce_window_us));
+      std::vector<Pending> batch;
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex);
+        const std::size_t n = std::min(queue.size(), options.max_batch);
+        batch.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          batch.push_back(std::move(queue.front()));
+          queue.pop_front();
+        }
+      }
+      if (!batch.empty()) process_batch(batch);
+    }
+  }
+
+  void process_batch(std::vector<Pending>& batch) {
+    // Group by session so each warm (library, process) pair is evaluated
+    // with one run_flow_batch call.
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      groups[session_key(batch[i].request).canonical()].push_back(i);
+    }
+    for (const auto& [canonical, indices] : groups) {
+      std::size_t done = 0;
+      try {
+        const auto session =
+            cache.acquire(session_key(batch[indices.front()].request));
+        std::vector<yield::FlowJob> jobs(indices.size());
+        // Shared design handles pin every job's design for the duration of
+        // the batch, across the session's own design-cache eviction.
+        std::vector<std::shared_ptr<const netlist::Design>> designs(
+            indices.size());
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          const FlowRequest& request = batch[indices[i]].request;
+          designs[i] = session->design(request.design_instances);
+          jobs[i].design = designs[i].get();
+          jobs[i].params = request.params;
+          // Server-side scheduling knob; invariant on the results.
+          jobs[i].params.n_threads = options.n_threads;
+        }
+        yield::BatchParams bp;
+        bp.n_threads = options.n_threads;
+        // The session model already carries the full-bracket interpolant,
+        // so every job — batched or solo — reads the *same* table. A
+        // per-batch table here would break batching-invariance.
+        bp.share_interpolant = false;
+        const auto results =
+            yield::run_flow_batch(session->library(), jobs, session->model(), bp);
+        // Count before publishing: a client woken by set_value must see
+        // its own request in the stats.
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex);
+          stats.batches += 1;
+          stats.batched_requests += indices.size();
+          stats.responses += indices.size();
+        }
+        for (; done < indices.size(); ++done) {
+          batch[indices[done]].promise.set_value(
+              encode_flow_response(results[done]));
+        }
+      } catch (const std::exception& e) {
+        for (; done < indices.size(); ++done) {
+          bump(&ServerStats::errors);
+          batch[indices[done]].promise.set_value(
+              encode_error("internal_error", e.what()));
+        }
+      }
+    }
+  }
+
+  // --- TCP transport -----------------------------------------------------
+
+  void accept_loop() {
+    while (!stop_flag.load(std::memory_order_relaxed)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, kPollSliceMs);
+      if (stop_flag.load(std::memory_order_relaxed)) return;
+      if (r <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      bump(&ServerStats::connections);
+      io_pool->post([this, fd] { serve_connection(fd); });
+    }
+  }
+
+  /// Reads exactly `n` bytes; false (close the connection) on EOF, error,
+  /// server stop, or an idle timeout. A truncated frame therefore never
+  /// blocks a worker past the idle timeout — it just drops the connection.
+  bool read_full(int fd, char* out, std::size_t n) {
+    using clock = std::chrono::steady_clock;
+    const auto deadline =
+        clock::now() + std::chrono::milliseconds(options.idle_timeout_ms);
+    std::size_t got = 0;
+    while (got < n) {
+      if (stop_flag.load(std::memory_order_relaxed)) return false;
+      if (clock::now() >= deadline) return false;
+      pollfd pfd{fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, kPollSliceMs);
+      if (r < 0 && errno != EINTR) return false;
+      if (r <= 0) continue;
+      const ssize_t k = ::recv(fd, out + got, n - got, 0);
+      if (k <= 0) return false;  // EOF or error
+      got += static_cast<std::size_t>(k);
+    }
+    return true;
+  }
+
+  bool write_all(int fd, std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t k = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (k <= 0) return false;
+      sent += static_cast<std::size_t>(k);
+    }
+    return true;
+  }
+
+  void serve_connection(int fd) {
+    while (!stop_flag.load(std::memory_order_relaxed)) {
+      std::string frame(kHeaderBytes, '\0');
+      if (!read_full(fd, frame.data(), kHeaderBytes)) break;
+      FrameHeader header;
+      try {
+        header = decode_header(frame);
+      } catch (const ProtocolError& e) {
+        // Framing can't be trusted past a bad header: answer and close.
+        write_all(fd, encode_error("bad_frame", e.what()));
+        bump(&ServerStats::errors);
+        break;
+      }
+      frame.resize(kHeaderBytes + header.payload_size);
+      if (header.payload_size > 0 &&
+          !read_full(fd, frame.data() + kHeaderBytes, header.payload_size)) {
+        break;  // truncated mid-frame
+      }
+      std::string response = submit_frame(std::move(frame)).get();
+      if (!write_all(fd, response)) break;
+      if (header.type == FrameType::Shutdown) break;
+    }
+    ::close(fd);
+  }
+
+  // --- protocol entry (shared by loopback and TCP) -----------------------
+
+  std::future<std::string> submit_frame(std::string frame) {
+    bump(&ServerStats::frames_in);
+    Frame decoded;
+    try {
+      decoded = decode_frame(frame);
+    } catch (const ProtocolError& e) {
+      return error_now("bad_frame", e.what());
+    }
+    switch (decoded.type) {
+      case FrameType::Ping:
+        return ready_future(encode_frame(FrameType::Pong, pong_payload()));
+      case FrameType::Shutdown: {
+        {
+          const std::lock_guard<std::mutex> lock(shutdown_mutex);
+          shutdown_requested = true;
+        }
+        shutdown_cv.notify_all();
+        return ready_future(encode_frame(FrameType::Pong, pong_payload()));
+      }
+      case FrameType::FlowRequest: break;
+      default:
+        return error_now("unexpected_frame",
+                         "frame type is not a request the server accepts");
+    }
+    FlowRequest request;
+    try {
+      request = flow_request_from_json(Json::parse(decoded.payload));
+      validate(request);
+    } catch (const std::exception& e) {
+      return error_now("bad_request", e.what());
+    }
+    std::future<std::string> future;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      if (stop_flag.load(std::memory_order_relaxed)) {
+        return error_now("shutting_down", "server is stopping");
+      }
+      Pending pending;
+      pending.request = std::move(request);
+      future = pending.promise.get_future();
+      queue.push_back(std::move(pending));
+    }
+    queue_cv.notify_one();
+    return future;
+  }
+};
+
+YieldServer::YieldServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+YieldServer::~YieldServer() { stop(); }
+
+void YieldServer::start() {
+  Impl& impl = *impl_;
+  CNY_EXPECT_MSG(!impl.started, "YieldServer::start() called twice");
+  impl.started = true;
+  if (impl.options.listen) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      throw ServiceSetupError(std::string("socket: ") + std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(impl.options.port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+      const std::string what = std::string("bind/listen 127.0.0.1:") +
+                               std::to_string(impl.options.port) + ": " +
+                               std::strerror(errno);
+      ::close(fd);
+      throw ServiceSetupError(what);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    impl.bound_port = ntohs(bound.sin_port);
+    impl.listen_fd = fd;
+    // Connection handlers block on socket reads, so give them more lanes
+    // than the (possibly single-core) compute pool would get.
+    impl.io_pool.emplace(std::max(4u, exec::hardware_threads()));
+    impl.acceptor = std::thread([&impl] { impl.accept_loop(); });
+  }
+  impl.dispatcher = std::thread([&impl] { impl.dispatch_loop(); });
+}
+
+void YieldServer::stop() {
+  Impl& impl = *impl_;
+  if (!impl.started || impl.stopped) return;
+  impl.stopped = true;
+  {
+    const std::lock_guard<std::mutex> lock(impl.queue_mutex);
+    impl.stop_flag.store(true, std::memory_order_relaxed);
+  }
+  impl.queue_cv.notify_all();
+  impl.shutdown_cv.notify_all();
+  if (impl.dispatcher.joinable()) impl.dispatcher.join();
+  // The dispatcher is gone and stop_flag is up (under queue_mutex), so no
+  // request can be enqueued after this drain — every pending future
+  // resolves, which is what lets the connection handlers unblock and the
+  // io pool join below.
+  {
+    const std::lock_guard<std::mutex> lock(impl.queue_mutex);
+    for (auto& pending : impl.queue) {
+      pending.promise.set_value(
+          encode_error("shutting_down", "server stopped"));
+    }
+    impl.queue.clear();
+  }
+  if (impl.acceptor.joinable()) impl.acceptor.join();
+  impl.io_pool.reset();
+  if (impl.listen_fd >= 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+  }
+}
+
+std::uint16_t YieldServer::port() const { return impl_->bound_port; }
+
+std::future<std::string> YieldServer::submit(std::string frame) {
+  CNY_EXPECT_MSG(impl_->started, "submit() before start()");
+  return impl_->submit_frame(std::move(frame));
+}
+
+void YieldServer::wait_shutdown() {
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lock(impl.shutdown_mutex);
+  impl.shutdown_cv.wait(lock, [&] {
+    return impl.shutdown_requested ||
+           impl.stop_flag.load(std::memory_order_relaxed);
+  });
+}
+
+ServerStats YieldServer::stats() const {
+  Impl& impl = *impl_;
+  ServerStats out;
+  {
+    const std::lock_guard<std::mutex> lock(impl.stats_mutex);
+    out = impl.stats;
+  }
+  out.sessions_built = impl.cache.sessions_built();
+  return out;
+}
+
+}  // namespace cny::service

@@ -1,0 +1,107 @@
+// YieldServer — the batching front end over warm FailureModels.
+//
+// Concurrently arriving FlowRequests are *coalesced*: a dispatcher thread
+// collects everything that arrives within a short window, groups it by
+// session key (library + process corner, see session_cache.h) and evaluates
+// each group with one run_flow_batch call against that session's warm
+// model. N clients therefore cost ~1 model warm-up plus their own MC work,
+// instead of N cold starts.
+//
+// Determinism contract (pinned in tests/test_service.cpp): a response is a
+// function of the request alone — (request params, seed, mc_streams) —
+// never of how requests happened to batch, the coalescing window, or the
+// server's thread count. This holds by construction: the session model
+// carries its interpolant *before* serving, every job reads that same
+// model whether it runs solo or in a batch (run_flow_batch is invoked with
+// share_interpolant = false so no per-batch table is ever built), and the
+// exec subsystem already guarantees thread-count invariance.
+//
+// Transports:
+//   * Loopback — submit() takes one request frame and yields the response
+//     frame, running the full protocol path (decode, validate, coalesce,
+//     evaluate, encode) with no socket. Tests and benches use this.
+//   * TCP — a listener on 127.0.0.1 accepts length-framed connections and
+//     serves them from an exec::ThreadPool; each frame is answered on the
+//     same connection. `cntyield_cli serve` fronts this.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/session_cache.h"
+
+namespace cny::service {
+
+struct ServerOptions {
+  /// Engage the TCP listener (loopback-only otherwise). Port 0 binds an
+  /// ephemeral port — read it back with YieldServer::port().
+  bool listen = false;
+  std::uint16_t port = 7421;
+  /// Compute threads per coalesced batch (0 = hardware concurrency).
+  /// Scheduling only: responses are invariant under this knob.
+  unsigned n_threads = 0;
+  /// Requests arriving within this window of the first queued one join its
+  /// batch. Purely a throughput/latency trade — see determinism contract.
+  unsigned coalesce_window_us = 2000;
+  /// Requests per dispatch cycle; later arrivals wait for the next cycle.
+  std::size_t max_batch = 64;
+  /// Warm (library, process) sessions kept alive, LRU-evicted.
+  std::size_t cache_capacity = 4;
+  /// Knots of each session's log-p_F interpolant.
+  std::size_t interpolant_knots = 65;
+  /// A TCP connection idle longer than this is closed.
+  unsigned idle_timeout_ms = 30000;
+};
+
+struct ServerStats {
+  std::uint64_t frames_in = 0;         ///< frames submitted (all types)
+  std::uint64_t responses = 0;         ///< FlowResponse frames sent
+  std::uint64_t errors = 0;            ///< Error frames sent
+  std::uint64_t batches = 0;           ///< run_flow_batch calls made
+  std::uint64_t batched_requests = 0;  ///< requests across those batches
+  std::uint64_t sessions_built = 0;    ///< session-cache misses
+  std::uint64_t connections = 0;       ///< TCP connections accepted
+};
+
+class YieldServer {
+ public:
+  explicit YieldServer(ServerOptions options = {});
+  ~YieldServer();
+  YieldServer(const YieldServer&) = delete;
+  YieldServer& operator=(const YieldServer&) = delete;
+
+  /// Spawns the dispatcher (and, in listen mode, binds + accepts).
+  /// Throws ServiceSetupError when the socket cannot be bound.
+  void start();
+  /// Stops accepting, fails pending requests, joins every thread.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// The bound TCP port (listen mode, after start()).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Loopback entry: one request frame in, one response frame out, through
+  /// the full protocol path. Ping/Shutdown/malformed frames resolve
+  /// immediately; FlowRequests resolve after their coalesced batch runs.
+  [[nodiscard]] std::future<std::string> submit(std::string frame);
+
+  /// Blocks until a Shutdown frame arrives or stop() is called.
+  void wait_shutdown();
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Server-side setup failure (bind/listen), as opposed to wire errors.
+class ServiceSetupError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace cny::service

@@ -1,0 +1,125 @@
+#include "service/session_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "celllib/generator.h"
+#include "netlist/design_generator.h"
+#include "util/contracts.h"
+#include "yield/wmin_solver.h"
+
+namespace cny::service {
+
+namespace {
+
+/// Distinct design sizes kept warm per session. Beyond this the least
+/// recently used is dropped (and regenerated on demand) — generation is
+/// deterministic, so eviction is a pure speed/memory trade.
+constexpr std::size_t kMaxCachedDesigns = 8;
+
+celllib::Library make_library(const std::string& name) {
+  if (name == "commercial65") return celllib::make_commercial65_like();
+  CNY_EXPECT_MSG(name == "nangate45", "unknown library '" + name + "'");
+  return celllib::make_nangate45_like();
+}
+
+device::FailureModel make_model(const ProcessSpec& spec) {
+  cnt::ProcessParams process;
+  process.p_metallic = spec.p_metallic;
+  process.p_remove_s = spec.p_remove_s;
+  return device::FailureModel(
+      cnt::PitchModel(spec.pitch_mean_nm, spec.pitch_cv), process);
+}
+
+}  // namespace
+
+std::string SessionKey::canonical() const {
+  // to_json renders doubles shortest-round-trip, so the text key is
+  // injective over process corners.
+  Json v = Json::object();
+  v.set("library", Json::string(library));
+  v.set("process", to_json(process));
+  return v.dump();
+}
+
+SessionKey session_key(const FlowRequest& request) {
+  return {request.library, request.process};
+}
+
+Session::Session(SessionKey key, std::size_t interpolant_knots,
+                 unsigned n_threads)
+    : key_(std::move(key)),
+      canonical_(key_.canonical()),
+      lib_(make_library(key_.library)),
+      model_(make_model(key_.process)) {
+  // Warm the model over the whole solver bracket: every p_F query any
+  // strategy of any request makes lands inside it, so after this one build
+  // the hot read path is the lock-free interpolant snapshot.
+  const yield::WminRequest bracket;
+  model_.enable_interpolation(bracket.w_lo, bracket.w_hi, interpolant_knots,
+                              n_threads);
+}
+
+std::shared_ptr<const netlist::Design> Session::design(
+    std::uint64_t instances) const {
+  const std::lock_guard<std::mutex> lock(designs_mutex_);
+  const auto it = std::find_if(
+      designs_.begin(), designs_.end(),
+      [&](const auto& entry) { return entry.first == instances; });
+  if (it != designs_.end()) {
+    auto found = it->second;
+    designs_.erase(it);
+    designs_.insert(designs_.begin(), {instances, found});  // MRU front
+    return found;
+  }
+  auto built = std::make_shared<const netlist::Design>(
+      instances == 0
+          ? netlist::make_openrisc_like(lib_)
+          : netlist::generate_design("synthetic_" + std::to_string(instances),
+                                     lib_, instances, {}));
+  designs_.insert(designs_.begin(), {instances, built});
+  if (designs_.size() > kMaxCachedDesigns) designs_.pop_back();
+  return built;
+}
+
+SessionCache::SessionCache(std::size_t capacity,
+                           std::size_t interpolant_knots, unsigned n_threads)
+    : capacity_(capacity),
+      interpolant_knots_(interpolant_knots),
+      n_threads_(n_threads) {
+  CNY_EXPECT(capacity_ >= 1);
+  CNY_EXPECT(interpolant_knots_ >= 4);
+}
+
+std::shared_ptr<const Session> SessionCache::acquire(const SessionKey& key) {
+  const std::string canonical = key.canonical();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find_if(
+      sessions_.begin(), sessions_.end(), [&](const auto& session) {
+        return session->canonical() == canonical;
+      });
+  if (it != sessions_.end()) {
+    auto session = *it;
+    sessions_.erase(it);
+    sessions_.insert(sessions_.begin(), session);  // MRU to the front
+    return session;
+  }
+  auto session =
+      std::make_shared<const Session>(key, interpolant_knots_, n_threads_);
+  sessions_.insert(sessions_.begin(), session);
+  if (sessions_.size() > capacity_) sessions_.pop_back();
+  ++built_;
+  return session;
+}
+
+std::size_t SessionCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::uint64_t SessionCache::sessions_built() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return built_;
+}
+
+}  // namespace cny::service

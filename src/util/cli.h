@@ -23,6 +23,10 @@ class Cli {
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
   [[nodiscard]] long get_long(const std::string& name, long fallback) const;
 
+  /// Names of every flag present, sorted — lets a front end reject flags
+  /// it does not understand instead of silently ignoring a typo.
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

@@ -1,0 +1,428 @@
+// The serving layer's contracts, pinned:
+//   * canonical JSON and frames: serialize→parse→serialize is byte-stable,
+//     doubles cross the wire bit-exactly;
+//   * malformed/oversized/truncated frames produce error responses, never
+//     crashes, and the server keeps serving afterwards;
+//   * the batching determinism contract: a response is a function of the
+//     request only — a loopback server hammered by concurrent clients
+//     returns bit-identical results to direct run_flow calls on an
+//     equivalently warmed model, and solo vs coalesced-burst responses are
+//     byte-identical;
+//   * the session cache actually shares one warm FailureModel across
+//     clients (and LRU-evicts past capacity).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "celllib/generator.h"
+#include "device/failure_model.h"
+#include "netlist/design_generator.h"
+#include "service/client.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/session_cache.h"
+#include "yield/flow.h"
+#include "yield/wmin_solver.h"
+
+namespace {
+
+using namespace cny;
+using service::FlowRequest;
+using service::Frame;
+using service::FrameType;
+using service::Json;
+
+// --- JSON ------------------------------------------------------------------
+
+TEST(ServiceJson, RoundTripsScalarsByteStable) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-12, 6.02214076e23, -0.0, 155.25,
+                         0.9999999999999999}) {
+    const std::string once = Json::number(v).dump();
+    const Json parsed = Json::parse(once);
+    EXPECT_EQ(parsed.dump(), once);
+    EXPECT_EQ(parsed.as_double(), v);  // bit-exact, not approximate
+  }
+  const std::string u = Json::number(std::uint64_t{18446744073709551615ull}).dump();
+  EXPECT_EQ(Json::parse(u).as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(Json::parse("\"a\\u0041\\n\\\"\"").as_string(), "aA\n\"");
+}
+
+TEST(ServiceJson, RejectsGarbage) {
+  EXPECT_THROW(Json::parse(""), service::JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), service::JsonError);
+  EXPECT_THROW(Json::parse("[1 2]"), service::JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), service::JsonError);
+  EXPECT_THROW(Json::parse("01"), service::JsonError);
+  EXPECT_THROW(Json::parse("\"\\x\""), service::JsonError);
+  EXPECT_THROW(Json::parse("nulll"), service::JsonError);
+  // Depth bomb: must throw (bounded recursion), not overflow the stack.
+  EXPECT_THROW(Json::parse(std::string(10000, '[')), service::JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), service::JsonError);
+}
+
+// --- protocol codecs -------------------------------------------------------
+
+TEST(ServiceProtocol, FlowParamsRoundTripByteStable) {
+  yield::FlowParams params;
+  params.yield_desired = 0.915;
+  params.chip_transistors = 2.5e8;
+  params.mc_samples = 12345;
+  params.seed = 0xDEADBEEFCAFEull;
+  params.mc_streams = 7;
+  const std::string once = service::to_json(params).dump();
+  const auto back = service::flow_params_from_json(Json::parse(once));
+  EXPECT_EQ(service::to_json(back).dump(), once);
+  EXPECT_EQ(back.yield_desired, params.yield_desired);
+  EXPECT_EQ(back.seed, params.seed);
+  EXPECT_EQ(back.mc_streams, params.mc_streams);
+}
+
+TEST(ServiceProtocol, FlowResultRoundTripByteStable) {
+  yield::FlowResult result;
+  result.m_r_min = 360.1234567890123;
+  result.m_min_uncorrelated = 33061224;
+  for (const auto s :
+       {yield::Strategy::Uncorrelated, yield::Strategy::DirectionalOnly,
+        yield::Strategy::AlignedOneRow, yield::Strategy::AlignedTwoRows}) {
+    yield::StrategyResult r;
+    r.strategy = s;
+    r.relaxation = 360.0 / 7.0;
+    r.w_min = 103.45678901234567;
+    r.power_penalty = 0.123456789;
+    r.area_penalty = 0.0123;
+    r.cells_widened = 17;
+    result.strategies.push_back(r);
+  }
+  const std::string once = service::to_json(result).dump();
+  const auto back = service::flow_result_from_json(Json::parse(once));
+  EXPECT_EQ(service::to_json(back).dump(), once);
+  EXPECT_EQ(back.get(yield::Strategy::AlignedOneRow).w_min,
+            result.get(yield::Strategy::AlignedOneRow).w_min);
+}
+
+TEST(ServiceProtocol, FrameHeaderChecks) {
+  const std::string frame = service::encode_frame(FrameType::Ping, "{}");
+  ASSERT_EQ(frame.size(), service::kHeaderBytes + 2);
+  const Frame decoded = service::decode_frame(frame);
+  EXPECT_EQ(decoded.type, FrameType::Ping);
+  EXPECT_EQ(decoded.payload, "{}");
+
+  // Truncated header.
+  EXPECT_THROW(service::decode_frame("CNY"), service::ProtocolError);
+  // Bad magic.
+  std::string bad = frame;
+  bad[0] = 'X';
+  EXPECT_THROW(service::decode_frame(bad), service::ProtocolError);
+  // Version mismatch.
+  bad = frame;
+  bad[4] = 99;
+  EXPECT_THROW(service::decode_frame(bad), service::ProtocolError);
+  // Unknown type.
+  bad = frame;
+  bad[8] = 77;
+  EXPECT_THROW(service::decode_frame(bad), service::ProtocolError);
+  // Announced payload larger than the buffer (truncated frame).
+  bad = frame;
+  bad[12] = 100;
+  EXPECT_THROW(service::decode_frame(bad), service::ProtocolError);
+  // Oversized announced payload.
+  bad = frame;
+  bad[14] = 0x7F;  // ~8 GiB > kMaxPayloadBytes
+  bad[15] = 0x7F;
+  EXPECT_THROW(service::decode_frame(bad), service::ProtocolError);
+}
+
+TEST(ServiceProtocol, MisshapenErrorPayloadFallsBackToMalformedError) {
+  // Valid JSON, wrong shape: must come back as the malformed_error
+  // fallback, never escape as a raw decode exception.
+  for (const char* payload :
+       {"{\"error\":\"oops\"}", "{\"error\":{\"code\":5,\"message\":\"x\"}}",
+        "{}", "not json"}) {
+    EXPECT_EQ(service::error_from_payload(payload).code, "malformed_error")
+        << payload;
+  }
+  EXPECT_EQ(service::error_from_payload(
+                "{\"error\":{\"code\":\"c\",\"message\":\"m\"}}")
+                .code,
+            "c");
+}
+
+TEST(ServiceProtocol, ValidateRejectsOutOfRange) {
+  FlowRequest request;  // defaults are valid
+  EXPECT_NO_THROW(service::validate(request));
+  auto bad = request;
+  bad.library = "tsmc5";
+  EXPECT_THROW(service::validate(bad), service::ProtocolError);
+  bad = request;
+  bad.params.yield_desired = 1.5;
+  EXPECT_THROW(service::validate(bad), service::ProtocolError);
+  bad = request;
+  bad.params.mc_samples = 0;
+  EXPECT_THROW(service::validate(bad), service::ProtocolError);
+  bad = request;
+  bad.process.pitch_cv = -1.0;
+  EXPECT_THROW(service::validate(bad), service::ProtocolError);
+  bad = request;
+  bad.process.p_metallic = 0.0;
+  bad.process.p_remove_s = 0.0;  // p_f = 0: W_min undefined
+  EXPECT_THROW(service::validate(bad), service::ProtocolError);
+}
+
+// --- server helpers --------------------------------------------------------
+
+/// Small MC budget + few interpolant knots keep each request fast; the
+/// *reference* model below must warm with the same knot count.
+constexpr std::size_t kTestKnots = 17;
+constexpr std::size_t kTestSamples = 600;
+
+service::ServerOptions loopback_options() {
+  service::ServerOptions options;
+  options.listen = false;
+  options.interpolant_knots = kTestKnots;
+  return options;
+}
+
+FlowRequest small_request(std::uint64_t seed, double yield) {
+  FlowRequest request;
+  request.params.mc_samples = kTestSamples;
+  request.params.seed = seed;
+  request.params.yield_desired = yield;
+  return request;
+}
+
+/// The model exactly as a session warms it (same bracket, same knots).
+device::FailureModel reference_model() {
+  cnt::ProcessParams process;
+  process.p_metallic = 0.33;
+  process.p_remove_s = 0.30;
+  device::FailureModel model(cnt::PitchModel(4.0, 0.9), process);
+  const yield::WminRequest bracket;
+  model.enable_interpolation(bracket.w_lo, bracket.w_hi, kTestKnots, 1);
+  return model;
+}
+
+service::ServiceErrorInfo expect_error_frame(const std::string& response) {
+  const Frame frame = service::decode_frame(response);
+  EXPECT_EQ(frame.type, FrameType::Error);
+  return service::error_from_payload(frame.payload);
+}
+
+// --- loopback server -------------------------------------------------------
+
+TEST(ServiceServer, MalformedFramesGetErrorResponsesNotCrashes) {
+  service::YieldServer server(loopback_options());
+  server.start();
+
+  // Garbage bytes (too short to even hold a header).
+  EXPECT_EQ(expect_error_frame(server.submit("hello").get()).code,
+            "bad_frame");
+  // Valid header, payload that is not JSON.
+  EXPECT_EQ(expect_error_frame(
+                server.submit(service::encode_frame(FrameType::FlowRequest,
+                                                    "not json at all"))
+                    .get())
+                .code,
+            "bad_request");
+  // Valid JSON, missing fields.
+  EXPECT_EQ(expect_error_frame(
+                server.submit(service::encode_frame(FrameType::FlowRequest,
+                                                    "{\"library\":\"x\"}"))
+                    .get())
+                .code,
+            "bad_request");
+  // Well-formed request, out-of-range parameter.
+  auto bad = small_request(1, 0.9);
+  bad.params.yield_desired = 2.0;
+  EXPECT_EQ(
+      expect_error_frame(server.submit(service::encode_flow_request(bad)).get())
+          .code,
+      "bad_request");
+  // A response-type frame is not a request.
+  EXPECT_EQ(expect_error_frame(
+                server.submit(service::encode_frame(FrameType::Pong, "{}"))
+                    .get())
+                .code,
+            "unexpected_frame");
+  // Truncated frame: header announces more payload than present.
+  std::string truncated =
+      service::encode_flow_request(small_request(1, 0.9));
+  truncated.resize(truncated.size() - 10);
+  EXPECT_EQ(expect_error_frame(server.submit(truncated).get()).code,
+            "bad_frame");
+
+  // After all of that abuse the server still serves.
+  service::YieldClient client(server);
+  EXPECT_NE(client.ping().find("\"protocol\":1"), std::string::npos);
+  const auto result = client.call(small_request(1, 0.9));
+  EXPECT_EQ(result.strategies.size(), 4u);
+  server.stop();
+}
+
+TEST(ServiceServer, PingReportsVersionAndShutdownUnblocksWait) {
+  service::YieldServer server(loopback_options());
+  server.start();
+  service::YieldClient client(server);
+  const std::string pong = client.ping();
+  EXPECT_NE(pong.find(service::kVersionString), std::string::npos);
+  client.shutdown_server();
+  server.wait_shutdown();  // must return promptly once shutdown was acked
+  server.stop();
+}
+
+// The acceptance test: one warm FailureModel serves >= 8 concurrent
+// clients, every response bit-identical to a direct run_flow call on an
+// equivalently warmed model.
+TEST(ServiceServer, EightConcurrentClientsMatchDirectRunFlowBitExactly) {
+  service::YieldServer server(loopback_options());
+  server.start();
+
+  struct Case {
+    std::uint64_t seed;
+    double yield;
+  };
+  std::vector<Case> cases;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    cases.push_back({seed, 0.88});
+    cases.push_back({seed, 0.92});
+  }
+
+  std::vector<yield::FlowResult> served(cases.size());
+  std::vector<std::thread> clients;
+  clients.reserve(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    clients.emplace_back([&, i] {
+      service::YieldClient client(server);
+      served[i] = client.call(small_request(cases[i].seed, cases[i].yield));
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.responses, cases.size());
+  EXPECT_EQ(stats.sessions_built, 1u) << "all clients must share one warm "
+                                         "session";
+
+  const auto model = reference_model();
+  const auto lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    yield::FlowParams params;
+    params.mc_samples = kTestSamples;
+    params.seed = cases[i].seed;
+    params.yield_desired = cases[i].yield;
+    params.n_threads = 1;  // responses are thread-count invariant
+    const auto direct = yield::run_flow(lib, design, model, params);
+    ASSERT_EQ(served[i].strategies.size(), direct.strategies.size());
+    EXPECT_EQ(served[i].m_r_min, direct.m_r_min);
+    EXPECT_EQ(served[i].m_min_uncorrelated, direct.m_min_uncorrelated);
+    for (std::size_t s = 0; s < direct.strategies.size(); ++s) {
+      const auto& a = served[i].strategies[s];
+      const auto& b = direct.strategies[s];
+      EXPECT_EQ(a.strategy, b.strategy);
+      EXPECT_EQ(a.relaxation, b.relaxation) << "case " << i << " strategy " << s;
+      EXPECT_EQ(a.w_min, b.w_min) << "case " << i << " strategy " << s;
+      EXPECT_EQ(a.power_penalty, b.power_penalty);
+      EXPECT_EQ(a.area_penalty, b.area_penalty);
+      EXPECT_EQ(a.cells_widened, b.cells_widened);
+    }
+  }
+  server.stop();
+}
+
+// Batching must be invisible: the response frame for a request served alone
+// equals, byte for byte, the one served amid a coalesced burst.
+TEST(ServiceServer, SoloAndCoalescedBurstResponsesAreByteIdentical) {
+  const auto probe = service::encode_flow_request(small_request(42, 0.9));
+
+  std::string solo;
+  {
+    service::YieldServer server(loopback_options());
+    server.start();
+    solo = server.submit(probe).get();
+    server.stop();
+  }
+
+  std::string in_burst;
+  {
+    auto options = loopback_options();
+    options.coalesce_window_us = 20000;  // make the burst coalesce for sure
+    service::YieldServer server(options);
+    server.start();
+    std::vector<std::future<std::string>> burst;
+    burst.push_back(server.submit(probe));
+    for (std::uint64_t seed = 100; seed < 107; ++seed) {
+      burst.push_back(server.submit(
+          service::encode_flow_request(small_request(seed, 0.85))));
+    }
+    in_burst = burst.front().get();
+    for (std::size_t i = 1; i < burst.size(); ++i) burst[i].get();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.batched_requests, 8u);
+    EXPECT_LT(stats.batches, stats.batched_requests)
+        << "burst should have coalesced into fewer run_flow_batch calls";
+    server.stop();
+  }
+
+  EXPECT_EQ(service::decode_frame(solo).type, FrameType::FlowResponse);
+  EXPECT_EQ(solo, in_burst);
+}
+
+// --- session cache ---------------------------------------------------------
+
+TEST(ServiceSessionCache, SharesWarmSessionsAndEvictsLru) {
+  service::SessionCache cache(1, 9, 1);
+  FlowRequest a;  // CV = 0.9 corner
+  FlowRequest b;
+  b.process.pitch_cv = 1.0;  // distinct corner
+
+  const auto sa = cache.acquire(service::session_key(a));
+  EXPECT_EQ(cache.sessions_built(), 1u);
+  EXPECT_EQ(cache.acquire(service::session_key(a)).get(), sa.get());
+  EXPECT_EQ(cache.sessions_built(), 1u);  // hit, no rebuild
+
+  const auto sb = cache.acquire(service::session_key(b));
+  EXPECT_EQ(cache.sessions_built(), 2u);
+  EXPECT_EQ(cache.size(), 1u);  // capacity 1: a was evicted
+
+  // sa is still usable after eviction (shared ownership) ...
+  EXPECT_GT(sa->model().p_f(100.0), 0.0);
+  // ... and re-acquiring its key warms a fresh session.
+  const auto sa2 = cache.acquire(service::session_key(a));
+  EXPECT_EQ(cache.sessions_built(), 3u);
+  EXPECT_NE(sa2.get(), sa.get());
+  (void)sb;
+}
+
+// --- TCP transport ---------------------------------------------------------
+
+TEST(ServiceServer, TcpEndToEndOnEphemeralPort) {
+  auto options = loopback_options();
+  options.listen = true;
+  options.port = 0;  // ephemeral: no flaky fixed-port collisions
+  service::YieldServer server(options);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  service::YieldClient client("127.0.0.1", server.port());
+  EXPECT_NE(client.ping().find("\"version\""), std::string::npos);
+
+  auto request = small_request(7, 0.9);
+  request.params.mc_samples = 200;
+  const auto over_tcp = client.call(request);
+
+  service::YieldClient local(server);
+  const auto over_loopback = local.call(request);
+  EXPECT_EQ(service::to_json(over_tcp).dump(),
+            service::to_json(over_loopback).dump());
+
+  service::YieldClient closer("127.0.0.1", server.port());
+  closer.shutdown_server();
+  server.wait_shutdown();
+  server.stop();
+}
+
+}  // namespace

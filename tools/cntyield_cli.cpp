@@ -13,6 +13,12 @@
 //   cntyield_cli align   [--lib=FILE] [--wmin=103] [--rows=1] [--out=FILE]
 //   cntyield_cli gen-lib [--which=nangate45|commercial65] --out=FILE
 //   cntyield_cli gen-design --lib=FILE --out=FILE [--instances=50000]
+//   cntyield_cli serve   [--port=7421] [--threads=N] [--coalesce-us=2000]
+//                        [--cache-size=4] [--knots=65]
+//   cntyield_cli request [--host=127.0.0.1] [--port=7421] [--ping]
+//                        [--shutdown] [--library=nangate45|commercial65]
+//                        [--instances=0] [--yield=0.90] [--seed=1] ...
+//   cntyield_cli --version
 //
 // `flow` and `batch` honour --threads=N (0 = hardware concurrency, the
 // default); thread count only changes wall-clock, never the numbers (those
@@ -20,11 +26,17 @@
 // their serial legacy MC loops unchanged.
 // Without --lib/--design the built-in synthetic nangate45_like library and
 // OpenRISC-like design are used, so every subcommand runs out of the box.
+// `serve` starts the batching yield service of src/service/ on 127.0.0.1;
+// `request` is its TCP client. Unknown subcommands or flags exit 2 with
+// usage — a typo never silently runs with defaults.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "celllib/generator.h"
 #include "celllib/liberty_lite.h"
@@ -36,7 +48,10 @@
 #include "layout/aligned_active.h"
 #include "netlist/design_generator.h"
 #include "netlist/design_io.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "util/cli.h"
+#include "util/contracts.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "yield/flow.h"
@@ -235,21 +250,167 @@ int cmd_gen_design(const util::Cli& cli) {
   return 0;
 }
 
+/// Range-checked numeric flag: out-of-range values must fail loudly (same
+/// policy as unknown flags), not truncate — --port=74310 silently binding
+/// port 8774 would be a debugging trap.
+long require_long_in(const util::Cli& cli, const std::string& name,
+                     long fallback, long lo, long hi) {
+  const long v = cli.get_long(name, fallback);
+  CNY_EXPECT_MSG(v >= lo && v <= hi,
+                 "--" + name + " must be in [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "]");
+  return v;
+}
+
+int cmd_serve(const util::Cli& cli) {
+  service::ServerOptions options;
+  options.listen = true;
+  options.port = static_cast<std::uint16_t>(
+      require_long_in(cli, "port", 7421, 1, 65535));
+  options.n_threads = resolve_threads(cli);
+  options.coalesce_window_us = static_cast<unsigned>(require_long_in(
+      cli, "coalesce-us", static_cast<long>(options.coalesce_window_us), 0,
+      10'000'000));
+  options.cache_capacity = static_cast<std::size_t>(require_long_in(
+      cli, "cache-size", static_cast<long>(options.cache_capacity), 1, 1024));
+  options.interpolant_knots = static_cast<std::size_t>(require_long_in(
+      cli, "knots", static_cast<long>(options.interpolant_knots), 4, 100000));
+  service::YieldServer server(options);
+  server.start();
+  std::printf(
+      "cntyield_cli %s serving on 127.0.0.1:%u (protocol v%u, %zu warm "
+      "sessions cached, %u us coalescing window)\n",
+      service::kVersionString, server.port(), service::kProtocolVersion,
+      options.cache_capacity, options.coalesce_window_us);
+  std::fflush(stdout);
+  server.wait_shutdown();
+  const auto stats = server.stats();
+  server.stop();
+  std::printf(
+      "shutting down: %llu frames in, %llu responses, %llu errors, "
+      "%llu requests over %llu batches, %llu sessions warmed, "
+      "%llu connections\n",
+      static_cast<unsigned long long>(stats.frames_in),
+      static_cast<unsigned long long>(stats.responses),
+      static_cast<unsigned long long>(stats.errors),
+      static_cast<unsigned long long>(stats.batched_requests),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.sessions_built),
+      static_cast<unsigned long long>(stats.connections));
+  return 0;
+}
+
+int cmd_request(const util::Cli& cli) {
+  service::YieldClient client(
+      cli.get("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(require_long_in(cli, "port", 7421, 1, 65535)));
+  if (cli.has("ping")) {
+    std::printf("pong: %s\n", client.ping().c_str());
+    return 0;
+  }
+  if (cli.has("shutdown")) {
+    client.shutdown_server();
+    std::puts("server acknowledged shutdown");
+    return 0;
+  }
+  service::FlowRequest request;
+  request.library = cli.get("library", request.library);
+  request.design_instances =
+      static_cast<std::uint64_t>(cli.get_long("instances", 0));
+  request.process.pitch_mean_nm =
+      cli.get_double("pitch-mean", request.process.pitch_mean_nm);
+  request.process.pitch_cv = cli.get_double("cv", request.process.pitch_cv);
+  request.process.p_metallic =
+      cli.get_double("pm", request.process.p_metallic);
+  request.process.p_remove_s =
+      cli.get_double("prs", request.process.p_remove_s);
+  request.params = resolve_flow_params(cli);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = client.call(request);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::cout << result.summary_table().to_text();
+  std::printf(
+      "served in %lld ms (seed %llu, %u MC stream(s); response depends on "
+      "the request only, never on batching)\n",
+      static_cast<long long>(ms),
+      static_cast<unsigned long long>(request.params.seed),
+      request.params.mc_streams);
+  return 0;
+}
+
+int print_version() {
+  std::printf("cntyield_cli %s (protocol v%u)\n", service::kVersionString,
+              service::kProtocolVersion);
+  return 0;
+}
+
 int usage() {
   std::puts(
       "usage: cntyield_cli <pf|wmin|flow|batch|scaling|table1|table2|align|"
-      "gen-lib|gen-design> [flags]\n  flow/batch: --threads=N (0 = hardware "
-      "concurrency)\n  see the header of tools/cntyield_cli.cpp for "
-      "per-command flags");
+      "gen-lib|gen-design|serve|request> [flags]\n"
+      "       cntyield_cli --version\n"
+      "  flow/batch/serve: --threads=N (0 = hardware concurrency)\n"
+      "  serve/request: the batching yield service on 127.0.0.1 (see "
+      "docs/architecture.md)\n"
+      "  see the header of tools/cntyield_cli.cpp for per-command flags");
   return 2;
+}
+
+/// Per-command flag allow-list: an unknown flag is an error, not a silently
+/// applied default.
+const std::map<std::string, std::vector<std::string>> kCommandFlags = {
+    {"pf", {"w", "pm", "prs", "cv"}},
+    {"wmin",
+     {"lib", "design", "yield", "relaxation", "chip-m", "pm", "prs", "cv"}},
+    {"flow",
+     {"lib", "design", "yield", "chip-m", "mc-samples", "streams", "seed",
+      "threads", "pm", "prs", "cv"}},
+    {"batch",
+     {"lib", "design", "yields", "yield", "no-interp", "chip-m", "mc-samples",
+      "streams", "seed", "threads", "pm", "prs", "cv"}},
+    {"scaling", {"relaxation"}},
+    {"table1", {}},
+    {"table2", {}},
+    {"align", {"lib", "wmin", "rows", "spacing", "out"}},
+    {"gen-lib", {"which", "out"}},
+    {"gen-design", {"lib", "out", "instances"}},
+    {"serve", {"port", "threads", "coalesce-us", "cache-size", "knots"}},
+    {"request",
+     {"host", "port", "ping", "shutdown", "library", "instances", "yield",
+      "chip-m", "mc-samples", "seed", "streams", "pm", "prs", "cv",
+      "pitch-mean"}},
+};
+
+/// 0 when `cmd` exists and every flag is known; the exit code otherwise.
+int reject_unknown_flags(const util::Cli& cli, const std::string& cmd) {
+  const auto it = kCommandFlags.find(cmd);
+  if (it == kCommandFlags.end()) {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
+    return usage();
+  }
+  for (const auto& name : cli.flag_names()) {
+    if (std::find(it->second.begin(), it->second.end(), name) ==
+        it->second.end()) {
+      std::fprintf(stderr, "error: unknown flag --%s for '%s'\n",
+                   name.c_str(), cmd.c_str());
+      return usage();
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  if (cli.positional().empty()) return usage();
+  if (cli.positional().empty()) {
+    if (cli.has("version")) return print_version();
+    return usage();
+  }
   const std::string cmd = cli.positional().front();
+  if (const int rc = reject_unknown_flags(cli, cmd); rc != 0) return rc;
   const experiments::PaperParams params;
   try {
     if (cmd == "pf") return cmd_pf(cli);
@@ -259,6 +420,8 @@ int main(int argc, char** argv) {
     if (cmd == "align") return cmd_align(cli);
     if (cmd == "gen-lib") return cmd_gen_lib(cli);
     if (cmd == "gen-design") return cmd_gen_design(cli);
+    if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "request") return cmd_request(cli);
     if (cmd == "scaling") {
       std::cout << experiments::report_fig3_3(
                        params, cli.get_double("relaxation", 350.0))
