@@ -17,10 +17,13 @@ double ShortModel::p_short_device(double width) const {
   CNY_EXPECT(width >= 0.0);
   const double p_short = process_.p_short();
   if (p_short == 0.0 || width == 0.0) return 0.0;
-  const cnt::CountDistribution dist(pitch_, width);
   // Each of the N tubes is a surviving short independently w.p. p_short;
-  // the device is clean iff all tubes are non-shorts.
-  return 1.0 - dist.pgf(1.0 - p_short);
+  // the device is clean iff all tubes are non-shorts. The truncated kernel
+  // evaluates the PGF without materialising the PMF — the scenario engine
+  // calls this inside the combined W_min solve and the required-p_Rm
+  // bisection, where the full-PMF build (~70 ms per query) would dominate
+  // the whole flow.
+  return 1.0 - cnt::CountDistribution::pgf_at(pitch_, width, 1.0 - p_short);
 }
 
 double ShortModel::mean_shorts(double width) const {

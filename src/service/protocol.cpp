@@ -108,6 +108,59 @@ Json to_json(const ProcessSpec& spec) {
   return v;
 }
 
+Json to_json(const scenario::ScenarioSpec& spec) {
+  Json v = Json::object();
+  if (spec.shorts) {
+    Json s = Json::object();
+    s.set("p_rm", Json::number(spec.shorts->p_rm));
+    s.set("p_noise_fails", Json::number(spec.shorts->p_noise_fails));
+    v.set("shorts", std::move(s));
+  }
+  if (spec.length) {
+    Json s = Json::object();
+    s.set("mean", Json::number(spec.length->mean));
+    s.set("cv", Json::number(spec.length->cv));
+    s.set("sample_devices",
+          Json::number(std::uint64_t{
+              static_cast<unsigned>(spec.length->sample_devices)}));
+    v.set("length", std::move(s));
+  }
+  if (spec.removal) {
+    Json s = Json::object();
+    s.set("selectivity", Json::number(spec.removal->selectivity));
+    s.set("p_rm_target", Json::number(spec.removal->p_rm_target));
+    v.set("removal", std::move(s));
+  }
+  return v;
+}
+
+scenario::ScenarioSpec scenario_from_json(const Json& v) {
+  try {
+    scenario::ScenarioSpec spec;
+    if (const Json* s = v.find("shorts")) {
+      spec.shorts.emplace();
+      spec.shorts->p_rm = get_dbl(*s, "p_rm");
+      spec.shorts->p_noise_fails = get_dbl(*s, "p_noise_fails");
+    }
+    if (const Json* s = v.find("length")) {
+      spec.length.emplace();
+      spec.length->mean = get_dbl(*s, "mean");
+      spec.length->cv = get_dbl(*s, "cv");
+      const std::uint64_t devices = get_u64(*s, "sample_devices");
+      if (devices > 1000) fail("field 'sample_devices': out of range");
+      spec.length->sample_devices = static_cast<int>(devices);
+    }
+    if (const Json* s = v.find("removal")) {
+      spec.removal.emplace();
+      spec.removal->selectivity = get_dbl(*s, "selectivity");
+      spec.removal->p_rm_target = get_dbl(*s, "p_rm_target");
+    }
+    return spec;
+  } catch (const JsonError& e) {
+    fail(e.what());
+  }
+}
+
 Json to_json(const yield::FlowParams& params) {
   Json v = Json::object();
   v.set("yield_desired", Json::number(params.yield_desired));
@@ -118,6 +171,8 @@ Json to_json(const yield::FlowParams& params) {
   v.set("mc_samples", Json::number(std::uint64_t{params.mc_samples}));
   v.set("seed", Json::number(params.seed));
   v.set("mc_streams", Json::number(std::uint64_t{params.mc_streams}));
+  // Omitted when empty, keeping open-only payloads byte-identical to v1.
+  if (!params.scenario.empty()) v.set("scenario", to_json(params.scenario));
   return v;
 }
 
@@ -131,9 +186,19 @@ Json to_json(const FlowRequest& request) {
 }
 
 Json to_json(const yield::FlowResult& result) {
+  // Scenario keys are emitted only when their mechanism ran, so the open-
+  // only result payload is byte-identical to the pre-scenario protocol.
+  const bool shorts = result.scenario.shorts.has_value();
+  const bool length = result.scenario.length.has_value();
   Json v = Json::object();
   v.set("m_r_min", Json::number(result.m_r_min));
   v.set("m_min_uncorrelated", Json::number(result.m_min_uncorrelated));
+  if (!result.scenario.empty()) {
+    v.set("scenario", to_json(result.scenario));
+    if (result.scenario.removal) {
+      v.set("derived_p_rs", Json::number(result.derived_p_rs));
+    }
+  }
   Json strategies = Json::array();
   for (const auto& r : result.strategies) {
     Json s = Json::object();
@@ -143,6 +208,11 @@ Json to_json(const yield::FlowResult& result) {
     s.set("power_penalty", Json::number(r.power_penalty));
     s.set("area_penalty", Json::number(r.area_penalty));
     s.set("cells_widened", Json::number(std::uint64_t{r.cells_widened}));
+    if (shorts) {
+      s.set("short_mode_yield", Json::number(r.short_mode_yield));
+      s.set("required_p_rm", Json::number(r.required_p_rm));
+    }
+    if (length) s.set("length_scale", Json::number(r.length_scale));
     strategies.push_back(std::move(s));
   }
   v.set("strategies", std::move(strategies));
@@ -170,6 +240,9 @@ yield::FlowParams flow_params_from_json(const Json& v) {
   const std::uint64_t streams = get_u64(v, "mc_streams");
   if (streams > 0xFFFFFFFFull) fail("field 'mc_streams': out of range");
   params.mc_streams = static_cast<unsigned>(streams);
+  if (const Json* s = v.find("scenario")) {
+    params.scenario = scenario_from_json(*s);
+  }
   return params;
 }
 
@@ -191,6 +264,12 @@ yield::FlowResult flow_result_from_json(const Json& v) {
     yield::FlowResult result;
     result.m_r_min = get_dbl(v, "m_r_min");
     result.m_min_uncorrelated = get_u64(v, "m_min_uncorrelated");
+    if (const Json* s = v.find("scenario")) {
+      result.scenario = scenario_from_json(*s);
+    }
+    if (const Json* s = v.find("derived_p_rs")) {
+      result.derived_p_rs = s->as_double();
+    }
     for (const Json& s : v.at("strategies").items()) {
       yield::StrategyResult r;
       const std::string name = get_str(s, "strategy");
@@ -210,6 +289,15 @@ yield::FlowResult flow_result_from_json(const Json& v) {
       r.power_penalty = get_dbl(s, "power_penalty");
       r.area_penalty = get_dbl(s, "area_penalty");
       r.cells_widened = static_cast<std::size_t>(get_u64(s, "cells_widened"));
+      if (const Json* f = s.find("short_mode_yield")) {
+        r.short_mode_yield = f->as_double();
+      }
+      if (const Json* f = s.find("required_p_rm")) {
+        r.required_p_rm = f->as_double();
+      }
+      if (const Json* f = s.find("length_scale")) {
+        r.length_scale = f->as_double();
+      }
       result.strategies.push_back(r);
     }
     return result;
@@ -268,20 +356,15 @@ void validate(const FlowRequest& request) {
   // A CNT that can never fail makes p_F identically 0 and W_min undefined.
   check(p.p_metallic + (1.0 - p.p_metallic) * p.p_remove_s > 0.0,
         "process has zero per-CNT failure probability");
-  const yield::FlowParams& f = request.params;
-  check(f.yield_desired > 0.0 && f.yield_desired < 1.0,
-        "yield_desired must be in (0, 1)");
-  check(f.chip_transistors >= 1.0 && f.chip_transistors <= 1e16,
-        "chip_transistors must be in [1, 1e16]");
-  check(f.l_cnt > 0.0 && f.l_cnt <= 1e9, "l_cnt must be in (0, 1e9] nm");
-  check(f.fets_per_um > 0.0 && f.fets_per_um <= 1e4,
-        "fets_per_um must be in (0, 1e4]");
-  check(f.active_spacing >= 0.0 && f.active_spacing <= 1e6,
-        "active_spacing must be in [0, 1e6] nm");
-  check(f.mc_samples >= 1 && f.mc_samples <= 10'000'000,
-        "mc_samples must be in [1, 1e7]");
-  check(f.mc_streams >= 1 && f.mc_streams <= 4096,
-        "mc_streams must be in [1, 4096]");
+  // FlowParams + scenario ranges: the one helper run_flow and the CLI also
+  // use, rewrapped so a bad value surfaces as the same message here as
+  // everywhere else — but as a ProtocolError the server answers with an
+  // error frame.
+  try {
+    yield::validate(request.params);
+  } catch (const std::exception& e) {
+    fail(std::string("invalid request: ") + e.what());
+  }
 }
 
 }  // namespace cny::service

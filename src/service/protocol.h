@@ -20,6 +20,13 @@
 // process geometry, MC budget, seed, streams): scheduling knobs like
 // n_threads and the interpolant opt-in belong to the server, so one request
 // cannot make two servers disagree.
+//
+// Protocol v2 adds the scenario engine's fields: a FlowRequest may carry an
+// optional "scenario" object ({"shorts":{...},"length":{...},
+// "removal":{...}}, members present iff enabled) and a scenario-bearing
+// FlowResult echoes the spec plus per-mechanism columns. Both sides omit
+// every scenario key when the spec is empty, so an open-only exchange is
+// byte-identical to a v1 payload — only the header version differs.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +41,10 @@ namespace cny::service {
 
 /// The single version constant for the whole front end: the wire header
 /// carries kProtocolVersion and `cntyield_cli --version` prints both.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: scenario fields (ShortFailure / FiniteLength / RemovalFrontier).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Human-readable release string the protocol version ships in.
-inline constexpr const char kVersionString[] = "0.1.0";
+inline constexpr const char kVersionString[] = "0.2.0";
 
 /// A frame violating the wire format (bad magic/version/type, oversized or
 /// truncated payload, payload that is not valid JSON of the right shape, or
@@ -108,6 +116,8 @@ struct ServiceErrorInfo {
 // JSON codecs. to_json output is canonical; *_from_json throws
 // ProtocolError naming the offending field.
 [[nodiscard]] Json to_json(const ProcessSpec& spec);
+[[nodiscard]] Json to_json(const scenario::ScenarioSpec& spec);
+[[nodiscard]] scenario::ScenarioSpec scenario_from_json(const Json& v);
 [[nodiscard]] Json to_json(const yield::FlowParams& params);
 [[nodiscard]] Json to_json(const FlowRequest& request);
 [[nodiscard]] Json to_json(const yield::FlowResult& result);

@@ -120,58 +120,86 @@ struct YieldServer::Impl {
     }
   }
 
+  /// Evaluates the requests at `indices` (which must share one session
+  /// key) as one coalesced batch on the group's warm session model. The
+  /// session model already carries the full-bracket interpolant, so every
+  /// job — batched or solo — reads the *same* table and responses stay
+  /// batching-invariant (a per-batch table would break that). Failures are
+  /// per job: an infeasible scenario gets its own error frame while the
+  /// rest of the group keeps its results.
+  void evaluate_group(std::vector<Pending>& batch,
+                      const std::vector<std::size_t>& indices) {
+    std::shared_ptr<const Session> session;
+    try {
+      session = cache.acquire(session_key(batch[indices.front()].request));
+    } catch (const std::exception& e) {
+      for (const std::size_t index : indices) {
+        bump(&ServerStats::errors);
+        batch[index].promise.set_value(
+            encode_error("internal_error", e.what()));
+      }
+      return;
+    }
+    // Shared design handles pin every job's design for the duration of
+    // the batch, across the session's own design-cache eviction.
+    std::vector<std::shared_ptr<const netlist::Design>> designs(
+        indices.size());
+    std::vector<std::string> frames(indices.size());
+    // Bytes, not vector<bool>: workers flag distinct indices concurrently.
+    std::vector<unsigned char> failed(indices.size(), 0);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const FlowRequest& request = batch[indices[i]].request;
+      try {
+        designs[i] = session->design(request.design_instances);
+      } catch (const std::exception& e) {
+        frames[i] = encode_error("internal_error", e.what());
+        failed[i] = 1;
+      }
+    }
+    // Job-indexed slots + per-job determinism: scheduling cannot change
+    // any response (same shape as run_flow_batch, with per-job error
+    // capture so one bad request never poisons its batch).
+    exec::parallel_for(indices.size(), options.n_threads, [&](std::size_t i) {
+      if (failed[i]) return;
+      yield::FlowParams params = batch[indices[i]].request.params;
+      // Server-side scheduling knob; invariant on the results.
+      params.n_threads = options.n_threads;
+      try {
+        frames[i] = encode_flow_response(yield::run_flow(
+            session->library(), *designs[i], session->model(), params));
+      } catch (const std::exception& e) {
+        frames[i] = encode_error("evaluation_failed", e.what());
+        failed[i] = 1;
+      }
+    });
+    // Count before publishing: a client woken by set_value must see its
+    // own request in the stats.
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.batches += 1;
+      stats.batched_requests += indices.size();
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (failed[i]) {
+          stats.errors += 1;
+        } else {
+          stats.responses += 1;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      batch[indices[i]].promise.set_value(std::move(frames[i]));
+    }
+  }
+
   void process_batch(std::vector<Pending>& batch) {
     // Group by session so each warm (library, process) pair is evaluated
-    // with one run_flow_batch call.
+    // as one coalesced batch.
     std::map<std::string, std::vector<std::size_t>> groups;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       groups[session_key(batch[i].request).canonical()].push_back(i);
     }
     for (const auto& [canonical, indices] : groups) {
-      std::size_t done = 0;
-      try {
-        const auto session =
-            cache.acquire(session_key(batch[indices.front()].request));
-        std::vector<yield::FlowJob> jobs(indices.size());
-        // Shared design handles pin every job's design for the duration of
-        // the batch, across the session's own design-cache eviction.
-        std::vector<std::shared_ptr<const netlist::Design>> designs(
-            indices.size());
-        for (std::size_t i = 0; i < indices.size(); ++i) {
-          const FlowRequest& request = batch[indices[i]].request;
-          designs[i] = session->design(request.design_instances);
-          jobs[i].design = designs[i].get();
-          jobs[i].params = request.params;
-          // Server-side scheduling knob; invariant on the results.
-          jobs[i].params.n_threads = options.n_threads;
-        }
-        yield::BatchParams bp;
-        bp.n_threads = options.n_threads;
-        // The session model already carries the full-bracket interpolant,
-        // so every job — batched or solo — reads the *same* table. A
-        // per-batch table here would break batching-invariance.
-        bp.share_interpolant = false;
-        const auto results =
-            yield::run_flow_batch(session->library(), jobs, session->model(), bp);
-        // Count before publishing: a client woken by set_value must see
-        // its own request in the stats.
-        {
-          const std::lock_guard<std::mutex> lock(stats_mutex);
-          stats.batches += 1;
-          stats.batched_requests += indices.size();
-          stats.responses += indices.size();
-        }
-        for (; done < indices.size(); ++done) {
-          batch[indices[done]].promise.set_value(
-              encode_flow_response(results[done]));
-        }
-      } catch (const std::exception& e) {
-        for (; done < indices.size(); ++done) {
-          bump(&ServerStats::errors);
-          batch[indices[done]].promise.set_value(
-              encode_error("internal_error", e.what()));
-        }
-      }
+      evaluate_group(batch, indices);
     }
   }
 

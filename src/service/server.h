@@ -2,19 +2,21 @@
 //
 // Concurrently arriving FlowRequests are *coalesced*: a dispatcher thread
 // collects everything that arrives within a short window, groups it by
-// session key (library + process corner, see session_cache.h) and evaluates
-// each group with one run_flow_batch call against that session's warm
-// model. N clients therefore cost ~1 model warm-up plus their own MC work,
-// instead of N cold starts.
+// session key (library + *derived* process corner, see session_cache.h)
+// and evaluates each group as one batch of run_flow jobs on that session's
+// warm model, with per-job error capture — one bad request (e.g. an
+// infeasible scenario) gets its own error frame and never poisons its
+// batch. N clients therefore cost ~1 model warm-up plus their own MC
+// work, instead of N cold starts.
 //
 // Determinism contract (pinned in tests/test_service.cpp): a response is a
 // function of the request alone — (request params, seed, mc_streams) —
 // never of how requests happened to batch, the coalescing window, or the
 // server's thread count. This holds by construction: the session model
 // carries its interpolant *before* serving, every job reads that same
-// model whether it runs solo or in a batch (run_flow_batch is invoked with
-// share_interpolant = false so no per-batch table is ever built), and the
-// exec subsystem already guarantees thread-count invariance.
+// model whether it runs solo or in a batch (no per-batch table is ever
+// built), and the exec subsystem already guarantees thread-count
+// invariance.
 //
 // Transports:
 //   * Loopback — submit() takes one request frame and yields the response
@@ -60,7 +62,7 @@ struct ServerStats {
   std::uint64_t frames_in = 0;         ///< frames submitted (all types)
   std::uint64_t responses = 0;         ///< FlowResponse frames sent
   std::uint64_t errors = 0;            ///< Error frames sent
-  std::uint64_t batches = 0;           ///< run_flow_batch calls made
+  std::uint64_t batches = 0;           ///< coalesced group evaluations
   std::uint64_t batched_requests = 0;  ///< requests across those batches
   std::uint64_t sessions_built = 0;    ///< session-cache misses
   std::uint64_t connections = 0;       ///< TCP connections accepted

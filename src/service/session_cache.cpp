@@ -5,6 +5,7 @@
 
 #include "celllib/generator.h"
 #include "netlist/design_generator.h"
+#include "scenario/engine.h"
 #include "util/contracts.h"
 #include "yield/wmin_solver.h"
 
@@ -43,7 +44,19 @@ std::string SessionKey::canonical() const {
 }
 
 SessionKey session_key(const FlowRequest& request) {
-  return {request.library, request.process};
+  // The key is the *derived* corner: a RemovalFrontier scenario earns its
+  // p_Rs from the frontier before the model is built, so scenario sweeps at
+  // one corner — and plain requests that state the same corner explicitly —
+  // all share one warm FailureModel. The derivation goes through the same
+  // scenario::derived_process the flow itself applies, so the session model
+  // always passes run_flow's corner check untouched.
+  ProcessSpec spec = request.process;
+  cnt::ProcessParams base;
+  base.p_metallic = spec.p_metallic;
+  base.p_remove_s = spec.p_remove_s;
+  spec.p_remove_s =
+      scenario::derived_process(base, request.params.scenario).p_remove_s;
+  return {request.library, spec};
 }
 
 Session::Session(SessionKey key, std::size_t interpolant_knots,

@@ -5,9 +5,11 @@
 // FailureModel with its solver-bracket log-p_F interpolant already built
 // (and an exact-value memo that keeps warming as requests arrive), and the
 // synthetic designs, cached per instance count. Requests that share a
-// (library, ProcessSpec) key share one session, so the truncated-PGF
-// kernel's table-build cost is paid once per process corner, not per
-// client.
+// (library, *derived* ProcessSpec) key share one session — a
+// RemovalFrontier scenario is resolved to the corner it earns before
+// keying, so scenario sweeps and explicit-corner requests reuse the same
+// warm model and the truncated-PGF kernel's table-build cost is paid once
+// per process corner, not per client.
 //
 // Sessions are handed out as shared_ptr<const Session>: eviction (LRU past
 // `capacity`) never invalidates a session a coalesced batch is still
@@ -36,8 +38,9 @@ struct SessionKey {
   [[nodiscard]] std::string canonical() const;
 };
 
-/// Derives the cache key of a request (everything but design size and the
-/// per-request FlowParams).
+/// Derives the cache key of a request: the library plus the process corner
+/// after scenario derivation (RemovalFrontier's earned p_Rs replaces the
+/// stated one; everything else in FlowParams stays per-request).
 [[nodiscard]] SessionKey session_key(const FlowRequest& request);
 
 class Session {

@@ -1,13 +1,19 @@
 #include "yield/flow.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
 #include <optional>
+#include <stdexcept>
+#include <utility>
 
 #include "exec/parallel_mc.h"
 #include "layout/aligned_active.h"
 #include "layout/row_placement.h"
 #include "power/penalty.h"
 #include "rng/engine.h"
+#include "scenario/engine.h"
 #include "util/contracts.h"
 #include "util/strings.h"
 #include "yield/empty_window.h"
@@ -35,8 +41,19 @@ const StrategyResult& FlowResult::get(Strategy s) const {
 
 util::Table FlowResult::summary_table() const {
   util::Table t("Yield-flow strategy comparison");
-  t.header({"strategy", "relaxation", "W_min (nm)", "power penalty",
-            "cells widened", "library area"});
+  // Per-mechanism columns appear only when the mechanism ran, so the
+  // open-only rendering is unchanged by the scenario engine's existence.
+  const bool shorts = scenario.shorts.has_value();
+  const bool length = scenario.length.has_value();
+  std::vector<std::string> header = {"strategy",      "relaxation",
+                                     "W_min (nm)",    "power penalty",
+                                     "cells widened", "library area"};
+  if (shorts) {
+    header.push_back("Y_short");
+    header.push_back("req p_Rm");
+  }
+  if (length) header.push_back("len scale");
+  t.header(std::move(header));
   for (const auto& r : strategies) {
     // Named lvalue sidesteps GCC 12's -Wrestrict false positive on
     // operator+(const char*, std::string&&) (GCC bug 105329).
@@ -48,8 +65,38 @@ util::Table FlowResult::summary_table() const {
         .cell(util::format_pct(r.power_penalty))
         .cell(std::to_string(r.cells_widened))
         .cell("+" + area);
+    if (shorts) {
+      t.cell(util::format_sig(r.short_mode_yield, 6))
+          .cell(util::format_sig(r.required_p_rm, 8));
+    }
+    if (length) t.num(r.length_scale, 4);
   }
   return t;
+}
+
+void validate(const FlowParams& f) {
+  // Affirmative comparisons reject NaN for free (every NaN compare is
+  // false), so a NaN yield or CV lands in the same error as an
+  // out-of-range one. Plain invalid_argument, not a contract macro: the
+  // message crosses the service wire verbatim, so it must name the field
+  // and nothing else (no source paths).
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(what);
+  };
+  check(f.yield_desired > 0.0 && f.yield_desired < 1.0,
+        "yield_desired must be in (0, 1)");
+  check(f.chip_transistors >= 1.0 && f.chip_transistors <= 1e16,
+        "chip_transistors must be in [1, 1e16]");
+  check(f.l_cnt > 0.0 && f.l_cnt <= 1e9, "l_cnt must be in (0, 1e9] nm");
+  check(f.fets_per_um > 0.0 && f.fets_per_um <= 1e4,
+        "fets_per_um must be in (0, 1e4]");
+  check(f.active_spacing >= 0.0 && f.active_spacing <= 1e6,
+        "active_spacing must be in [0, 1e6] nm");
+  check(f.mc_samples >= 1 && f.mc_samples <= 10'000'000,
+        "mc_samples must be in [1, 1e7]");
+  check(f.mc_streams >= 1 && f.mc_streams <= 4096,
+        "mc_streams must be in [1, 4096]");
+  scenario::validate(f.scenario);
 }
 
 namespace {
@@ -89,7 +136,21 @@ FlowResult run_flow(const celllib::Library& lib,
                     const device::FailureModel& orig_model,
                     const FlowParams& params) {
   CNY_EXPECT(&design.library() == &lib);
-  CNY_EXPECT(params.chip_transistors > 0.0);
+  validate(params);
+
+  const scenario::Engine engine(params, orig_model.pitch(),
+                                orig_model.process());
+
+  // RemovalFrontier derivation: rebuild at the earned corner only when the
+  // caller's model is elsewhere — the service's session cache (and the
+  // batch path's corner groups) already hand over warm models at the
+  // derived corner, which pass through untouched.
+  std::optional<device::FailureModel> corner_model;
+  const device::FailureModel* corner_ptr = &orig_model;
+  if (!engine.matches(orig_model.process())) {
+    corner_model.emplace(orig_model.pitch(), engine.process());
+    corner_ptr = &*corner_model;
+  }
 
   // Opt-in bracket-scoped interpolant (ROADMAP "solver hot path"): every
   // p_F query any strategy's solver makes lives inside the W bracket, so
@@ -97,16 +158,18 @@ FlowResult run_flow(const celllib::Library& lib,
   // caller's model already covers the bracket (e.g. run_flow_batch's
   // shared table), so the caller's exactness is never altered.
   std::optional<device::FailureModel> interp_model;
-  const device::FailureModel* eval_model = &orig_model;
+  const device::FailureModel* eval_model = corner_ptr;
   if (params.use_interpolant) {
     const WminRequest bracket;
-    if (!orig_model.interpolation_covers(bracket.w_lo) ||
-        !orig_model.interpolation_covers(bracket.w_hi)) {
-      interp_model.emplace(orig_model);
-      interp_model->enable_interpolation(bracket.w_lo, bracket.w_hi,
-                                         params.interpolant_knots,
-                                         params.n_threads);
-      eval_model = &*interp_model;
+    if (!corner_ptr->interpolation_covers(bracket.w_lo) ||
+        !corner_ptr->interpolation_covers(bracket.w_hi)) {
+      // Install on the flow-local corner model if one already exists,
+      // else on a fresh copy of the caller's.
+      device::FailureModel& local =
+          corner_model ? *corner_model : interp_model.emplace(orig_model);
+      local.enable_interpolation(bracket.w_lo, bracket.w_hi,
+                                 params.interpolant_knots, params.n_threads);
+      eval_model = &local;
     }
   }
   const device::FailureModel& model = *eval_model;
@@ -124,12 +187,26 @@ FlowResult run_flow(const celllib::Library& lib,
 
   FlowResult out;
   out.m_r_min = mrmin;
+  out.scenario = params.scenario;
+  if (engine.removal_active()) out.derived_p_rs = engine.process().p_remove_s;
+
+  // ShortFailure: the solver fixpoints against Y_S so every strategy's
+  // W_min meets the combined open x short requirement. Empty hook = the
+  // unchanged open-only solve.
+  const auto short_yield = engine.short_mode_yield();
 
   const auto solve = [&](double relaxation) {
     WminRequest req;
     req.yield_desired = params.yield_desired;
     req.relaxation = relaxation;
+    req.short_mode_yield = short_yield;
     return solve_w_min(spectrum, model, req);
+  };
+
+  // Per-strategy scenario columns (mechanism-off defaults otherwise).
+  const auto fill_scenario = [&](StrategyResult& r, const WminResult& solved) {
+    r.short_mode_yield = solved.short_mode_yield;
+    if (engine.shorts_active()) r.required_p_rm = engine.required_p_rm(r.w_min);
   };
 
   // Uncorrelated baseline.
@@ -140,8 +217,20 @@ FlowResult run_flow(const celllib::Library& lib,
   const double dir_relax =
       directional_relaxation(design, model, params, base.w_min, mrmin);
 
+  // FiniteLength: the aligned-credit rescale, probed (like the directional
+  // relaxation) at the baseline W_min's functional-CNT density.
+  double length_scale = 1.0;
+  if (engine.length_active()) {
+    const double lambda_s = -std::log(model.p_f(base.w_min)) / base.w_min;
+    length_scale = engine.aligned_length_scale(lambda_s, base.w_min);
+  }
+
   const auto eval_aligned = [&](int rows_per_polarity, StrategyResult& r) {
-    const double relax = mrmin / (rows_per_polarity == 2 ? 2.0 : 1.0);
+    double relax = mrmin / (rows_per_polarity == 2 ? 2.0 : 1.0);
+    if (engine.length_active()) {
+      relax = std::max(1.0, relax * length_scale);
+      r.length_scale = length_scale;
+    }
     const auto solved = solve(relax);
     layout::AlignOptions options;
     options.w_min = solved.w_min;
@@ -153,6 +242,7 @@ FlowResult run_flow(const celllib::Library& lib,
     r.power_penalty = power::upsizing_penalty(spectrum, solved.w_min);
     r.area_penalty = aligned.area_increase();
     r.cells_widened = aligned.cells_with_penalty();
+    fill_scenario(r, solved);
   };
 
   {
@@ -161,6 +251,7 @@ FlowResult run_flow(const celllib::Library& lib,
     r.relaxation = 1.0;
     r.w_min = base.w_min;
     r.power_penalty = power::upsizing_penalty(spectrum, base.w_min);
+    fill_scenario(r, base);
     out.strategies.push_back(r);
   }
   {
@@ -170,6 +261,7 @@ FlowResult run_flow(const celllib::Library& lib,
     const auto solved = solve(dir_relax);
     r.w_min = solved.w_min;
     r.power_penalty = power::upsizing_penalty(spectrum, solved.w_min);
+    fill_scenario(r, solved);
     out.strategies.push_back(r);
   }
   {
@@ -191,28 +283,51 @@ std::vector<FlowResult> run_flow_batch(const celllib::Library& lib,
                                        const std::vector<FlowJob>& jobs,
                                        const device::FailureModel& model,
                                        const BatchParams& batch) {
-  for (const auto& job : jobs) CNY_EXPECT(job.design != nullptr);
-  // The interpolant is installed on a batch-local copy so the caller's
-  // model keeps answering exactly after the batch returns; the copy carries
-  // the caller's memo cache, so already-paid evaluations still count.
-  std::optional<device::FailureModel> shared_model;
-  const device::FailureModel* eval_model = &model;
+  for (const auto& job : jobs) {
+    CNY_EXPECT(job.design != nullptr);
+    // Fail on the named parameter before corner derivation can trip over
+    // it (p_rs_at on a NaN target would throw a message naming nothing).
+    validate(job.params);
+  }
+  // One warm model (with its bracket interpolant) per distinct *derived*
+  // process corner, installed on batch-local copies so the caller's model
+  // keeps answering exactly after the batch returns. Scenario sweeps batch
+  // like param sweeps: every job whose RemovalFrontier (or its absence)
+  // lands on the same corner shares that corner's table; the caller's own
+  // corner is seeded from a copy, so its memo cache still counts.
+  std::vector<const device::FailureModel*> job_models(jobs.size(), &model);
+  std::vector<std::unique_ptr<device::FailureModel>> corner_models;
   if (batch.share_interpolant) {
-    // One table over the solver's full W bracket serves every width query
-    // any job's strategies will make.
     const WminRequest bracket;
-    shared_model.emplace(model);
-    shared_model->enable_interpolation(bracket.w_lo, bracket.w_hi,
-                                       batch.interpolant_knots,
-                                       batch.n_threads);
-    eval_model = &*shared_model;
+    std::map<std::pair<double, double>, std::size_t> corners;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto corner = scenario::derived_process(
+          model.process(), jobs[i].params.scenario);
+      const auto key = std::make_pair(corner.p_metallic, corner.p_remove_s);
+      const auto [it, inserted] = corners.try_emplace(key,
+                                                      corner_models.size());
+      if (inserted) {
+        auto warmed =
+            key == std::make_pair(model.process().p_metallic,
+                                  model.process().p_remove_s)
+                ? std::make_unique<device::FailureModel>(model)
+                : std::make_unique<device::FailureModel>(model.pitch(),
+                                                         corner);
+        warmed->enable_interpolation(bracket.w_lo, bracket.w_hi,
+                                     batch.interpolant_knots,
+                                     batch.n_threads);
+        corner_models.push_back(std::move(warmed));
+      }
+      job_models[i] = corner_models[it->second].get();
+    }
   }
 
   // Jobs land in job-indexed slots and each job is a deterministic function
   // of its own (design, params), so scheduling cannot change any result.
   std::vector<FlowResult> results(jobs.size());
   exec::parallel_for(jobs.size(), batch.n_threads, [&](std::size_t i) {
-    results[i] = run_flow(lib, *jobs[i].design, *eval_model, jobs[i].params);
+    results[i] = run_flow(lib, *jobs[i].design, *job_models[i],
+                          jobs[i].params);
   });
   return results;
 }

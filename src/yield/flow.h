@@ -19,6 +19,7 @@
 #include "celllib/generator.h"
 #include "device/failure_model.h"
 #include "netlist/design.h"
+#include "scenario/spec.h"
 #include "util/table.h"
 #include "yield/wmin_solver.h"
 
@@ -60,7 +61,19 @@ struct FlowParams {
   /// (run_flow_batch / BatchParams::share_interpolant).
   bool use_interpolant = false;
   std::size_t interpolant_knots = 65;
+  /// Failure-mechanism selection (scenario/spec.h): optional ShortFailure /
+  /// FiniteLength / RemovalFrontier blocks composed by the scenario engine.
+  /// An empty spec (the default) reproduces the open-only flow bit for bit.
+  scenario::ScenarioSpec scenario;
 };
+
+/// The one range check every front end shares (run_flow itself, the CLI,
+/// and the service protocol decoder): validates each FlowParams field and
+/// the embedded scenario spec, NaN-safe, throwing std::invalid_argument
+/// whose message names the offending field and nothing else (it crosses
+/// the service wire verbatim). Scheduling knobs (n_threads, interpolant)
+/// are unconstrained — they never change results.
+void validate(const FlowParams& params);
 
 struct StrategyResult {
   Strategy strategy = Strategy::Uncorrelated;
@@ -69,12 +82,23 @@ struct StrategyResult {
   double power_penalty = 0.0;   ///< upsizing capacitance penalty (fraction)
   double area_penalty = 0.0;    ///< library placement-area increase
   std::size_t cells_widened = 0;
+  // Scenario-engine columns; the defaults are the mechanism-off values, so
+  // an empty ScenarioSpec leaves the struct indistinguishable from pre-
+  // scenario results.
+  double short_mode_yield = 1.0; ///< Y_S at w_min (ShortFailure)
+  double required_p_rm = 0.0;    ///< short-mode p_Rm floor at w_min (ShortFailure)
+  double length_scale = 1.0;     ///< aligned-credit rescale (FiniteLength)
 };
 
 struct FlowResult {
   std::vector<StrategyResult> strategies;  ///< in enum order
   double m_r_min = 0.0;
   std::uint64_t m_min_uncorrelated = 0;
+  /// Echo of the spec the flow ran under (empty for the open-only flow).
+  scenario::ScenarioSpec scenario;
+  /// p_Rs the RemovalFrontier mechanism earned from the frontier (only
+  /// meaningful when scenario.removal is set).
+  double derived_p_rs = 0.0;
 
   [[nodiscard]] const StrategyResult& get(Strategy s) const;
   [[nodiscard]] util::Table summary_table() const;

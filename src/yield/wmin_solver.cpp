@@ -32,6 +32,44 @@ WminResult solve_w_min(const WidthSpectrum& spectrum,
   CNY_EXPECT(request.relaxation >= 1.0);
   CNY_EXPECT(!spectrum.empty());
 
+  if (request.short_mode_yield) {
+    // Combined open+short target: fixpoint the open-mode solve against the
+    // effective target Y / Y_S(W). Y_S is non-increasing in W and Y_open's
+    // solution is increasing in the target, so the iterates W_k climb
+    // monotonically toward the combined solution — or walk cleanly into
+    // the "no open-mode budget left" guard when the short mode alone
+    // cannot reach Y. Y_S == 1 (perfect removal) passes Y through exactly
+    // (x / 1.0 == x), making the first solve the open-only result bit for
+    // bit and terminating immediately.
+    WminRequest open = request;
+    open.short_mode_yield = nullptr;
+    double y_short = 1.0;
+    constexpr int kMaxCombinedIterations = 40;
+    for (int iter = 1; iter <= kMaxCombinedIterations; ++iter) {
+      open.yield_desired = request.yield_desired / y_short;
+      WminResult result = solve_w_min(spectrum, model, open);
+      const double y_new = request.short_mode_yield(result.w_min);
+      CNY_ENSURE_MSG(y_new >= 0.0 && y_new <= 1.0,
+                     "short-mode yield hook must return a value in [0, 1]");
+      // Y_S only falls as W grows and the combined W can only grow from
+      // here, so Y_S already at or below the target proves infeasibility.
+      CNY_EXPECT_MSG(
+          y_new > request.yield_desired,
+          "short mode leaves no open-mode yield budget (Y_S(W) <= "
+          "yield_desired): raise p_Rm, lower p_noise_fails, or shrink the "
+          "chip");
+      result.short_mode_yield = y_new;
+      // Stop just above the jitter floor the inner Brent's 1e-6 nm W
+      // tolerance induces on Y_S (~1e-9 relative): tighter would chase
+      // noise, looser would cost W_min digits. Exact equality (Y_S == 1,
+      // p_Rm = 1) exits on the first pass with the open-only result.
+      if (std::fabs(y_new - y_short) <= 1e-7 * y_short) return result;
+      y_short = y_new;
+    }
+    CNY_ENSURE_MSG(false, "combined open+short W_min fixpoint did not "
+                          "converge");
+  }
+
   const double budget = 1.0 - request.yield_desired;
 
   WminResult result;

@@ -13,6 +13,8 @@
 // inversion step.
 #pragma once
 
+#include <functional>
+
 #include "device/failure_model.h"
 #include "yield/circuit_yield.h"
 
@@ -29,6 +31,18 @@ struct WminRequest {
   /// Search bracket for W (nm).
   double w_lo = 4.0;
   double w_hi = 400.0;
+  /// Optional second failure mode: chip-level short-mode yield Y_S(W),
+  /// monotone non-increasing in W (wider devices keep more m-CNTs). When
+  /// set, the solver targets the combined requirement
+  ///
+  ///   Y_open(W_min) · Y_S(W_min) >= yield_desired
+  ///
+  /// by fixpointing the open-mode solve against an effective target
+  /// yield_desired / Y_S (the scenario engine's ShortFailure mechanism
+  /// supplies the hook). Empty (the default) runs the open-only eq. 2.5
+  /// solve unchanged; a hook that evaluates to exactly 1 (p_Rm = 1)
+  /// reproduces the open-only result bit for bit.
+  std::function<double(double)> short_mode_yield;
 };
 
 struct WminResult {
@@ -37,6 +51,7 @@ struct WminResult {
   std::uint64_t m_min = 0;     ///< devices counted as minimum-size
   int iterations = 0;          ///< fixpoint iterations used
   bool converged = false;
+  double short_mode_yield = 1.0; ///< Y_S(w_min); 1 when the hook is absent
   YieldBreakdown verification; ///< full-spectrum yield at the solution
 };
 

@@ -1,0 +1,320 @@
+// Scenario-engine contracts, pinned:
+//   * an empty ScenarioSpec reproduces the pre-scenario flow bit for bit
+//     (golden values captured from the tree at the commit before the engine
+//     existed);
+//   * mechanism degeneracies: ShortFailure at p_Rm = 1 and FiniteLength at
+//     the paper's point mass {mean = l_cnt, cv = 0} both collapse to the
+//     open-only numbers exactly;
+//   * combined-mode monotonicity (shorts raise W_min, length variability
+//     shrinks the aligned credit) and the paper's "p_Rm > 99.99 %" remark
+//     at the 10^8-transistor design point;
+//   * RemovalFrontier earns its corner from the probit frontier, batches
+//     share one warm model per derived corner, and batched scenario jobs
+//     equal their solo run_flow twins bit for bit;
+//   * the registry resolves names and the shared validator rejects bad
+//     values identically at every entry point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "celllib/generator.h"
+#include "cnt/removal_tradeoff.h"
+#include "netlist/design_generator.h"
+#include "scenario/engine.h"
+#include "service/protocol.h"
+#include "util/contracts.h"
+#include "yield/flow.h"
+
+namespace {
+
+using namespace cny;
+
+yield::FlowParams small_params() {
+  yield::FlowParams params;
+  params.mc_samples = 600;
+  params.seed = 7;
+  params.n_threads = 1;
+  return params;
+}
+
+const celllib::Library& library() {
+  static const celllib::Library lib = celllib::make_nangate45_like();
+  return lib;
+}
+
+const netlist::Design& design() {
+  static const netlist::Design d = netlist::make_openrisc_like(library());
+  return d;
+}
+
+device::FailureModel paper_model() {
+  return device::FailureModel(cnt::PitchModel(4.0, 0.9), cnt::fig21_worst());
+}
+
+/// The open-only reference flow, computed once.
+const yield::FlowResult& base_result() {
+  static const yield::FlowResult res = [] {
+    const auto model = paper_model();
+    return yield::run_flow(library(), design(), model, small_params());
+  }();
+  return res;
+}
+
+void expect_strategy_bits_equal(const yield::StrategyResult& a,
+                                const yield::StrategyResult& b) {
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.relaxation, b.relaxation);
+  EXPECT_EQ(a.w_min, b.w_min);
+  EXPECT_EQ(a.power_penalty, b.power_penalty);
+  EXPECT_EQ(a.area_penalty, b.area_penalty);
+  EXPECT_EQ(a.cells_widened, b.cells_widened);
+}
+
+// --- empty-spec bit identity ------------------------------------------------
+
+TEST(ScenarioEngine, EmptySpecMatchesPreScenarioGoldenValuesBitExactly) {
+  // Hexfloat goldens captured by running this exact configuration
+  // (mc_samples 600, seed 7, 1 thread, paper corner) on the tree at the
+  // commit before src/scenario/ existed. Any drift here means the engine
+  // changed the open-only flow.
+  const auto& res = base_result();
+  EXPECT_EQ(res.m_r_min, 0x1.68p+8);  // 360
+  EXPECT_EQ(res.m_min_uncorrelated, 34674381u);
+  ASSERT_EQ(res.strategies.size(), 4u);
+  EXPECT_EQ(res.strategies[0].relaxation, 0x1p+0);
+  EXPECT_EQ(res.strategies[0].w_min, 0x1.3dd6c2716b465p+7);
+  EXPECT_EQ(res.strategies[0].power_penalty, 0x1.fae9a4e47188p-5);
+  EXPECT_EQ(res.strategies[1].relaxation, 0x1.a4b444b323331p+4);
+  EXPECT_EQ(res.strategies[1].w_min, 0x1.0178de702ca7ap+7);
+  EXPECT_EQ(res.strategies[1].power_penalty, 0x1.3a117d557d10ep-6);
+  EXPECT_EQ(res.strategies[2].relaxation, 0x1.68p+8);
+  EXPECT_EQ(res.strategies[2].w_min, 0x1.8e99fd83d259fp+6);
+  EXPECT_EQ(res.strategies[2].power_penalty, 0x1.c64312a655641p-9);
+  EXPECT_EQ(res.strategies[2].area_penalty, 0x1.91d346dcdf3fdp-9);
+  EXPECT_EQ(res.strategies[2].cells_widened, 4u);
+  EXPECT_EQ(res.strategies[3].relaxation, 0x1.68p+7);
+  EXPECT_EQ(res.strategies[3].w_min, 0x1.a4feea8f85894p+6);
+  EXPECT_EQ(res.strategies[3].power_penalty, 0x1.66e60499f9d61p-8);
+  // Mechanism-off defaults everywhere.
+  for (const auto& r : res.strategies) {
+    EXPECT_EQ(r.short_mode_yield, 1.0);
+    EXPECT_EQ(r.required_p_rm, 0.0);
+    EXPECT_EQ(r.length_scale, 1.0);
+  }
+  EXPECT_TRUE(res.scenario.empty());
+}
+
+TEST(ScenarioEngine, EmptySpecBatchMatchesSoloBitExactly) {
+  const auto model = paper_model();
+  yield::FlowJob job;
+  job.design = &design();
+  job.params = small_params();
+  yield::BatchParams batch;
+  batch.n_threads = 1;
+  batch.share_interpolant = false;
+  const auto results = yield::run_flow_batch(library(), {job}, model, batch);
+  ASSERT_EQ(results.size(), 1u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_strategy_bits_equal(results[0].strategies[i],
+                               base_result().strategies[i]);
+  }
+}
+
+// --- mechanism degeneracies -------------------------------------------------
+
+TEST(ScenarioEngine, ShortsAtPerfectRemovalDegenerateToOpenOnly) {
+  const auto model = paper_model();
+  auto params = small_params();
+  params.scenario.shorts = scenario::ShortFailure{1.0, 0.01};
+  const auto res = yield::run_flow(library(), design(), model, params);
+  ASSERT_EQ(res.strategies.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_strategy_bits_equal(res.strategies[i], base_result().strategies[i]);
+    EXPECT_EQ(res.strategies[i].short_mode_yield, 1.0);
+    // The acceptance anchor: at the 10^8-transistor design point the short
+    // mode alone demands p_Rm beyond the paper's "> 99.99 %" remark.
+    EXPECT_GT(res.strategies[i].required_p_rm, 0.9999);
+    EXPECT_LT(res.strategies[i].required_p_rm, 1.0);
+  }
+}
+
+TEST(ScenarioEngine, FiniteLengthPointMassAtLcntDegeneratesToOpenOnly) {
+  const auto model = paper_model();
+  auto params = small_params();
+  // The paper's implied law: every tube exactly l_cnt long. The aligned
+  // credit rescale is a ratio of two identical exact unions = 1.0, so the
+  // whole flow must come back bit-identical.
+  params.scenario.length = scenario::FiniteLength{params.l_cnt, 0.0, 16};
+  const auto res = yield::run_flow(library(), design(), model, params);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_strategy_bits_equal(res.strategies[i], base_result().strategies[i]);
+    EXPECT_EQ(res.strategies[i].length_scale, 1.0);
+  }
+}
+
+// --- combined-mode behaviour ------------------------------------------------
+
+TEST(ScenarioEngine, ShortModeRaisesCombinedWmin) {
+  const auto model = paper_model();
+  auto params = small_params();
+  params.scenario.shorts = scenario::ShortFailure{};  // 1 - 1e-9, 1 % noise
+  const auto res = yield::run_flow(library(), design(), model, params);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& combined = res.strategies[i];
+    const auto& open = base_result().strategies[i];
+    EXPECT_GT(combined.w_min, open.w_min)
+        << yield::to_string(combined.strategy);
+    EXPECT_GT(combined.short_mode_yield, 0.0);
+    EXPECT_LT(combined.short_mode_yield, 1.0);
+  }
+}
+
+TEST(ScenarioEngine, InfeasibleShortModeFailsWithActionableMessage) {
+  const auto model = paper_model();
+  auto params = small_params();
+  params.scenario.shorts = scenario::ShortFailure{0.999, 0.01};
+  try {
+    (void)yield::run_flow(library(), design(), model, params);
+    FAIL() << "expected the infeasible short mode to throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("short mode"), std::string::npos);
+  }
+}
+
+TEST(ScenarioEngine, LengthVariabilityShrinksAlignedCredit) {
+  const auto model = paper_model();
+  auto params = small_params();
+  params.scenario.length = scenario::FiniteLength{params.l_cnt, 0.5, 16};
+  const auto res = yield::run_flow(library(), design(), model, params);
+  const auto& one_row = res.get(yield::Strategy::AlignedOneRow);
+  const auto& base_one_row = base_result().get(yield::Strategy::AlignedOneRow);
+  EXPECT_LT(one_row.length_scale, 1.0);
+  EXPECT_GT(one_row.length_scale, 0.0);
+  EXPECT_LT(one_row.relaxation, base_one_row.relaxation);
+  EXPECT_GT(one_row.w_min, base_one_row.w_min);
+  // Mechanism scope: only the aligned strategies read the length law.
+  expect_strategy_bits_equal(res.strategies[0], base_result().strategies[0]);
+  expect_strategy_bits_equal(res.strategies[1], base_result().strategies[1]);
+}
+
+TEST(ScenarioEngine, RemovalFrontierEarnsItsCorner) {
+  const auto model = paper_model();
+  auto params = small_params();
+  params.scenario.removal = scenario::RemovalFrontier{6.0, 0.9999};
+  const auto res = yield::run_flow(library(), design(), model, params);
+  const double expected_p_rs = cnt::RemovalTradeoff(6.0).p_rs_at(0.9999);
+  EXPECT_EQ(res.derived_p_rs, expected_p_rs);
+  // Selectivity 6 earns far less collateral than the assumed 30 %, so the
+  // whole flow relaxes.
+  EXPECT_LT(expected_p_rs, 0.05);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(res.strategies[i].w_min, base_result().strategies[i].w_min);
+  }
+  // At the paper's working selectivity the frontier hands back (almost)
+  // the assumed corner.
+  const double s_paper = cnt::RemovalTradeoff::required_selectivity(0.9999,
+                                                                    0.30);
+  EXPECT_NEAR(cnt::RemovalTradeoff(s_paper).p_rs_at(0.9999), 0.30, 1e-9);
+}
+
+// --- batching ---------------------------------------------------------------
+
+TEST(ScenarioEngine, BatchSharesOneModelPerDerivedCornerAndMatchesSolo) {
+  const auto model = paper_model();
+  const scenario::RemovalFrontier removal{5.0, 0.999};
+
+  std::vector<yield::FlowJob> jobs(3);
+  for (auto& job : jobs) {
+    job.design = &design();
+    job.params = small_params();
+  }
+  jobs[1].params.scenario.removal = removal;
+  jobs[2].params.scenario.removal = removal;  // same derived corner as [1]
+
+  yield::BatchParams batch;
+  batch.n_threads = 1;
+  batch.share_interpolant = true;
+  const auto results = yield::run_flow_batch(library(), jobs, model, batch);
+  ASSERT_EQ(results.size(), 3u);
+
+  // Identical jobs on the shared corner model are identical outputs.
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_strategy_bits_equal(results[1].strategies[i],
+                               results[2].strategies[i]);
+  }
+
+  // Each batched job equals its solo run_flow twin with the same
+  // interpolant policy (same bracket, same knots -> same table).
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    auto params = jobs[j].params;
+    params.use_interpolant = true;
+    const auto solo = yield::run_flow(library(), design(), model, params);
+    for (std::size_t i = 0; i < 4; ++i) {
+      expect_strategy_bits_equal(results[j].strategies[i],
+                                 solo.strategies[i]);
+    }
+  }
+}
+
+// --- registry + validation --------------------------------------------------
+
+TEST(ScenarioRegistry, ResolvesNamesAndRejectsUnknowns) {
+  EXPECT_EQ(scenario::mechanisms().size(), 3u);
+  const auto spec = scenario::spec_from_names("shorts,length");
+  EXPECT_TRUE(spec.shorts.has_value());
+  EXPECT_TRUE(spec.length.has_value());
+  EXPECT_FALSE(spec.removal.has_value());
+  EXPECT_EQ(scenario::names(spec), "shorts,length");
+  EXPECT_TRUE(scenario::spec_from_names("").empty());
+  EXPECT_TRUE(scenario::spec_from_names("none").empty());
+  EXPECT_THROW((void)scenario::spec_from_names("shortz"),
+               std::invalid_argument);
+  EXPECT_EQ(scenario::find_mechanism("removal")->name(), "removal");
+  EXPECT_EQ(scenario::find_mechanism("frontier"), nullptr);
+  // Spec echo order is registration (= composition) order.
+  EXPECT_EQ(scenario::names(scenario::spec_from_names("length,removal")),
+            "removal,length");
+}
+
+TEST(ScenarioValidation, OneHelperRejectsBadValuesAtEveryEntryPoint) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // Direct helper (what run_flow and the CLI hit).
+  auto params = small_params();
+  params.yield_desired = nan;
+  EXPECT_THROW(yield::validate(params), std::invalid_argument);
+  params = small_params();
+  params.scenario.length = scenario::FiniteLength{200.0e3, -0.5, 16};
+  EXPECT_THROW(yield::validate(params), std::invalid_argument);
+  params = small_params();
+  params.scenario.length = scenario::FiniteLength{200.0e3, 0.0, 23};
+  EXPECT_THROW(yield::validate(params), std::invalid_argument);
+  params = small_params();
+  params.scenario.shorts = scenario::ShortFailure{0.0, 0.01};
+  EXPECT_THROW(yield::validate(params), std::invalid_argument);
+  params = small_params();
+  params.scenario.removal = scenario::RemovalFrontier{4.24, 1.0};
+  EXPECT_THROW(yield::validate(params), std::invalid_argument);
+  params = small_params();
+  params.mc_streams = 0;
+  EXPECT_THROW(yield::validate(params), std::invalid_argument);
+
+  // The same values through the protocol decoder's validate: identical
+  // rejection, surfaced as ProtocolError for the error frame.
+  service::FlowRequest request;
+  request.params.scenario.removal = scenario::RemovalFrontier{4.24, 1.0};
+  EXPECT_THROW(service::validate(request), service::ProtocolError);
+  request = service::FlowRequest{};
+  request.params.yield_desired = nan;
+  EXPECT_THROW(service::validate(request), service::ProtocolError);
+
+  // run_flow itself refuses before touching any model state.
+  const auto model = paper_model();
+  params = small_params();
+  params.scenario.shorts = scenario::ShortFailure{-1.0, 0.01};
+  EXPECT_THROW((void)yield::run_flow(library(), design(), model, params),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "celllib/generator.h"
+#include "cnt/removal_tradeoff.h"
 #include "device/failure_model.h"
 #include "netlist/design_generator.h"
 #include "service/client.h"
@@ -256,7 +257,9 @@ TEST(ServiceServer, MalformedFramesGetErrorResponsesNotCrashes) {
 
   // After all of that abuse the server still serves.
   service::YieldClient client(server);
-  EXPECT_NE(client.ping().find("\"protocol\":1"), std::string::npos);
+  EXPECT_NE(client.ping().find("\"protocol\":" +
+                               std::to_string(service::kProtocolVersion)),
+            std::string::npos);
   const auto result = client.call(small_request(1, 0.9));
   EXPECT_EQ(result.strategies.size(), 4u);
   server.stop();
@@ -369,6 +372,133 @@ TEST(ServiceServer, SoloAndCoalescedBurstResponsesAreByteIdentical) {
 
   EXPECT_EQ(service::decode_frame(solo).type, FrameType::FlowResponse);
   EXPECT_EQ(solo, in_burst);
+}
+
+// --- scenario fields (protocol v2) ----------------------------------------
+
+TEST(ServiceProtocol, ScenarioRequestRoundTripsByteStableAndEmptyIsOmitted) {
+  FlowRequest request = small_request(3, 0.9);
+  // Empty spec: the payload must carry no scenario key at all, keeping
+  // open-only exchanges byte-identical to the v1 payload shape.
+  EXPECT_EQ(service::to_json(request).dump().find("scenario"),
+            std::string::npos);
+
+  request.params.scenario.shorts = cny::scenario::ShortFailure{0.99999, 0.02};
+  request.params.scenario.length =
+      cny::scenario::FiniteLength{150.0e3, 0.25, 12};
+  request.params.scenario.removal =
+      cny::scenario::RemovalFrontier{5.5, 0.9995};
+  const std::string once = service::to_json(request).dump();
+  const auto back = service::flow_request_from_json(Json::parse(once));
+  EXPECT_EQ(service::to_json(back).dump(), once);
+  ASSERT_TRUE(back.params.scenario.shorts.has_value());
+  EXPECT_EQ(back.params.scenario.shorts->p_rm, 0.99999);
+  ASSERT_TRUE(back.params.scenario.length.has_value());
+  EXPECT_EQ(back.params.scenario.length->sample_devices, 12);
+  ASSERT_TRUE(back.params.scenario.removal.has_value());
+  EXPECT_EQ(back.params.scenario.removal->selectivity, 5.5);
+}
+
+TEST(ServiceServer, VersionMismatchedScenarioRequestGetsCleanErrorFrame) {
+  service::YieldServer server(loopback_options());
+  server.start();
+
+  FlowRequest request = small_request(1, 0.9);
+  request.params.scenario.removal = cny::scenario::RemovalFrontier{};
+  std::string frame = service::encode_flow_request(request);
+  frame[4] = 1;  // rewrite the header version to the pre-scenario v1
+  const auto error = expect_error_frame(server.submit(frame).get());
+  EXPECT_EQ(error.code, "bad_frame");
+  EXPECT_NE(error.message.find("version"), std::string::npos);
+
+  // The mismatch is rejected at the header, never parsed — and the server
+  // keeps serving current-version traffic afterwards.
+  service::YieldClient client(server);
+  EXPECT_EQ(client.call(small_request(1, 0.9)).strategies.size(), 4u);
+  server.stop();
+}
+
+// A scenario-bearing request is served bit-identically to direct run_flow
+// against an equivalently warmed model at the *derived* corner.
+TEST(ServiceServer, ScenarioResponseMatchesDirectRunFlowBitExactly) {
+  service::YieldServer server(loopback_options());
+  server.start();
+
+  FlowRequest request = small_request(11, 0.9);
+  request.params.scenario.removal = cny::scenario::RemovalFrontier{6.0, 0.9999};
+  request.params.scenario.length =
+      cny::scenario::FiniteLength{150.0e3, 0.3, 12};
+  service::YieldClient client(server);
+  const auto served = client.call(request);
+  EXPECT_EQ(server.stats().sessions_built, 1u);
+
+  cnt::ProcessParams corner;
+  corner.p_metallic = request.process.p_metallic;
+  corner.p_remove_s = cnt::RemovalTradeoff(6.0).p_rs_at(0.9999);
+  device::FailureModel model(cnt::PitchModel(4.0, 0.9), corner);
+  const yield::WminRequest bracket;
+  model.enable_interpolation(bracket.w_lo, bracket.w_hi, kTestKnots, 1);
+  const auto lib = celllib::make_nangate45_like();
+  const auto design = netlist::make_openrisc_like(lib);
+  auto params = request.params;
+  params.n_threads = 1;
+  const auto direct = yield::run_flow(lib, design, model, params);
+
+  ASSERT_EQ(served.strategies.size(), direct.strategies.size());
+  EXPECT_EQ(served.derived_p_rs, direct.derived_p_rs);
+  for (std::size_t i = 0; i < direct.strategies.size(); ++i) {
+    EXPECT_EQ(served.strategies[i].w_min, direct.strategies[i].w_min);
+    EXPECT_EQ(served.strategies[i].relaxation,
+              direct.strategies[i].relaxation);
+    EXPECT_EQ(served.strategies[i].length_scale,
+              direct.strategies[i].length_scale);
+  }
+  server.stop();
+}
+
+// One infeasible scenario must fail alone: the rest of its coalesced batch
+// still gets real responses.
+TEST(ServiceServer, InfeasibleScenarioFailsAloneInABurst) {
+  auto options = loopback_options();
+  options.coalesce_window_us = 20000;  // force one batch
+  service::YieldServer server(options);
+  server.start();
+
+  FlowRequest good = small_request(5, 0.9);
+  FlowRequest bad = small_request(6, 0.9);
+  bad.params.scenario.shorts = cny::scenario::ShortFailure{0.999, 0.01};
+
+  auto good_future = server.submit(service::encode_flow_request(good));
+  auto bad_future = server.submit(service::encode_flow_request(bad));
+  const Frame good_frame = service::decode_frame(good_future.get());
+  const Frame bad_frame = service::decode_frame(bad_future.get());
+  EXPECT_EQ(good_frame.type, FrameType::FlowResponse);
+  ASSERT_EQ(bad_frame.type, FrameType::Error);
+  const auto error = service::error_from_payload(bad_frame.payload);
+  EXPECT_EQ(error.code, "evaluation_failed");
+  EXPECT_NE(error.message.find("short mode"), std::string::npos);
+  server.stop();
+}
+
+// The session cache keys on the derived corner: a RemovalFrontier scenario
+// and a plain request stating the earned corner explicitly share one warm
+// model.
+TEST(ServiceSessionCache, ScenarioAndExplicitCornerShareOneSession) {
+  service::SessionCache cache(4, 9, 1);
+  FlowRequest scenario_request;
+  scenario_request.params.scenario.removal =
+      cny::scenario::RemovalFrontier{5.0, 0.999};
+  FlowRequest explicit_request;
+  explicit_request.process.p_remove_s =
+      cnt::RemovalTradeoff(5.0).p_rs_at(0.999);
+
+  const auto a = cache.acquire(service::session_key(scenario_request));
+  const auto b = cache.acquire(service::session_key(explicit_request));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.sessions_built(), 1u);
+  // The warm model already sits at the derived corner.
+  EXPECT_EQ(a->model().process().p_remove_s,
+            explicit_request.process.p_remove_s);
 }
 
 // --- session cache ---------------------------------------------------------

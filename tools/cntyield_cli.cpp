@@ -6,8 +6,12 @@
 //                        [--relaxation=1] [--chip-m=1e8]
 //   cntyield_cli flow    [--lib=FILE] [--design=FILE] [--yield=0.90]
 //                        [--mc-samples=20000] [--streams=16] [--seed=1]
+//                        [--scenario=shorts,length,removal + mechanism flags]
 //   cntyield_cli batch   [--yields=0.80,0.90,0.95] [--no-interp]
 //                        (yield-target sweep through run_flow_batch)
+//   cntyield_cli scenarios [--points=6] [--selectivity=4.24]
+//                        [--prm-lo=0.99] [--prm-hi=0.9999999] [--with-shorts]
+//                        [--via-service] (removal-frontier sweep end-to-end)
 //   cntyield_cli scaling [--relaxation=350] (Fig 2.2b / 3.3 series)
 //   cntyield_cli table1  / table2            (paper tables)
 //   cntyield_cli align   [--lib=FILE] [--wmin=103] [--rows=1] [--out=FILE]
@@ -29,6 +33,12 @@
 // `serve` starts the batching yield service of src/service/ on 127.0.0.1;
 // `request` is its TCP client. Unknown subcommands or flags exit 2 with
 // usage — a typo never silently runs with defaults.
+//
+// Scenario flags (flow / batch / request / scenarios; see scenario/spec.h):
+//   --scenario=shorts,length,removal   enable mechanisms (defaults apply)
+//   --prm=P --noise-fails=P            ShortFailure parameters
+//   --length-mean-um=200 --length-cv=0 --length-devices=16   FiniteLength
+//   --selectivity=4.24 --prm-target=0.9999                   RemovalFrontier
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -40,6 +50,7 @@
 
 #include "celllib/generator.h"
 #include "celllib/liberty_lite.h"
+#include "cnt/removal_tradeoff.h"
 #include "exec/thread_pool.h"
 #include "experiments/fig2_1.h"
 #include "experiments/fig2_2.h"
@@ -48,6 +59,7 @@
 #include "layout/aligned_active.h"
 #include "netlist/design_generator.h"
 #include "netlist/design_io.h"
+#include "scenario/engine.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "util/cli.h"
@@ -79,8 +91,10 @@ device::FailureModel resolve_model(const util::Cli& cli) {
   cnt::ProcessParams process;
   process.p_metallic = cli.get_double("pm", 0.33);
   process.p_remove_s = cli.get_double("prs", 0.30);
-  return device::FailureModel(cnt::PitchModel(4.0, cli.get_double("cv", 0.9)),
-                              process);
+  return device::FailureModel(
+      cnt::PitchModel(cli.get_double("pitch-mean", 4.0),
+                      cli.get_double("cv", 0.9)),
+      process);
 }
 
 int cmd_pf(const util::Cli& cli) {
@@ -120,6 +134,18 @@ unsigned resolve_threads(const util::Cli& cli) {
   return t <= 0 ? 0u : static_cast<unsigned>(t);
 }
 
+/// Range-checked numeric flag: out-of-range values must fail loudly (same
+/// policy as unknown flags), not truncate — --port=74310 silently binding
+/// port 8774 would be a debugging trap.
+long require_long_in(const util::Cli& cli, const std::string& name,
+                     long fallback, long lo, long hi) {
+  const long v = cli.get_long(name, fallback);
+  CNY_EXPECT_MSG(v >= lo && v <= hi,
+                 "--" + name + " must be in [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "]");
+  return v;
+}
+
 yield::FlowParams resolve_flow_params(const util::Cli& cli) {
   yield::FlowParams params;
   params.yield_desired = cli.get_double("yield", params.yield_desired);
@@ -132,6 +158,30 @@ yield::FlowParams resolve_flow_params(const util::Cli& cli) {
   const long streams =
       cli.get_long("streams", static_cast<long>(params.mc_streams));
   params.mc_streams = streams < 1 ? 1u : static_cast<unsigned>(streams);
+  // Scenario selection + per-mechanism overrides. Validation (shared with
+  // run_flow and the service decoder) happens when the flow runs.
+  if (cli.has("scenario")) {
+    params.scenario = scenario::spec_from_names(cli.get("scenario", ""));
+  }
+  if (params.scenario.shorts) {
+    auto& shorts = *params.scenario.shorts;
+    shorts.p_rm = cli.get_double("prm", shorts.p_rm);
+    shorts.p_noise_fails = cli.get_double("noise-fails", shorts.p_noise_fails);
+  }
+  if (params.scenario.length) {
+    auto& length = *params.scenario.length;
+    length.mean = cli.get_double("length-mean-um", length.mean / 1000.0) * 1000.0;
+    length.cv = cli.get_double("length-cv", length.cv);
+    // Range-checked here (not just in scenario::validate) so a value that
+    // would wrap through the int cast fails instead of truncating.
+    length.sample_devices = static_cast<int>(
+        require_long_in(cli, "length-devices", length.sample_devices, 2, 22));
+  }
+  if (params.scenario.removal) {
+    auto& removal = *params.scenario.removal;
+    removal.selectivity = cli.get_double("selectivity", removal.selectivity);
+    removal.p_rm_target = cli.get_double("prm-target", removal.p_rm_target);
+  }
   return params;
 }
 
@@ -208,6 +258,177 @@ int cmd_batch(const util::Cli& cli) {
   return 0;
 }
 
+/// Removal-frontier sweep end-to-end: every point targets one p_Rm on the
+/// probit frontier, earns its p_Rs (and, with --with-shorts, pays the
+/// short-mode tax at that same p_Rm), and runs the whole strategy flow.
+/// --via-service routes each point through an in-process YieldServer's
+/// loopback path — the full protocol (decode, validate, session cache on
+/// the derived corner, coalesce, encode) with no socket; infeasible points
+/// come back as error frames and render as "infeasible" rows instead of
+/// aborting the sweep.
+int cmd_scenarios(const util::Cli& cli) {
+  const double selectivity = cli.get_double("selectivity", 4.24);
+  const int points = static_cast<int>(require_long_in(cli, "points", 6, 2, 200));
+  const double prm_lo = cli.get_double("prm-lo", 0.99);
+  const double prm_hi = cli.get_double("prm-hi", 0.9999999);
+  CNY_EXPECT_MSG(prm_lo > 0.0 && prm_lo < prm_hi && prm_hi < 1.0,
+                 "--prm-lo/--prm-hi must satisfy 0 < lo < hi < 1");
+  const cnt::RemovalTradeoff tradeoff(selectivity);
+  const auto frontier = tradeoff.frontier(prm_lo, prm_hi, points);
+
+  auto base = resolve_flow_params(cli);
+  if (cli.has("with-shorts") && !base.scenario.shorts) {
+    base.scenario.shorts.emplace();
+    base.scenario.shorts->p_noise_fails = cli.get_double(
+        "noise-fails", base.scenario.shorts->p_noise_fails);
+  }
+  const bool with_shorts = base.scenario.shorts.has_value();
+  std::vector<yield::FlowParams> sweep;
+  sweep.reserve(frontier.size());
+  for (const auto& point : frontier) {
+    auto params = base;
+    params.scenario.removal =
+        scenario::RemovalFrontier{selectivity, point.p_rm};
+    sweep.push_back(params);
+  }
+
+  const std::string library = cli.get("library", "nangate45");
+  // Same policy as unknown flags: a typo'd library must fail loudly on
+  // both evaluation paths, not silently sweep the default; the instance
+  // count gets the same bound the server enforces, so a negative value
+  // cannot wrap into an absurd design generation on the direct path.
+  CNY_EXPECT_MSG(library == "nangate45" || library == "commercial65",
+                 "--library must be \"nangate45\" or \"commercial65\"");
+  const auto instances = static_cast<std::uint64_t>(
+      require_long_in(cli, "instances", 0, 0, 2'000'000));
+  const double p_metallic = cli.get_double("pm", 0.33);
+
+  std::vector<std::optional<yield::FlowResult>> results(sweep.size());
+  std::vector<std::string> errors(sweep.size());
+  std::uint64_t sessions_warmed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (cli.has("via-service")) {
+    service::ServerOptions options;
+    options.listen = false;
+    options.n_threads = resolve_threads(cli);
+    options.coalesce_window_us = 0;
+    options.cache_capacity = sweep.size();
+    service::YieldServer server(options);
+    server.start();
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      service::FlowRequest request;
+      request.library = library;
+      request.design_instances = instances;
+      request.process.pitch_mean_nm =
+          cli.get_double("pitch-mean", request.process.pitch_mean_nm);
+      request.process.pitch_cv = cli.get_double("cv", request.process.pitch_cv);
+      request.process.p_metallic = p_metallic;
+      request.process.p_remove_s =
+          cli.get_double("prs", request.process.p_remove_s);
+      request.params = sweep[i];
+      const std::string response =
+          server.submit(service::encode_flow_request(request)).get();
+      const auto frame = service::decode_frame(response);
+      if (frame.type == service::FrameType::FlowResponse) {
+        results[i] = service::flow_result_from_json(
+            service::Json::parse(frame.payload));
+      } else {
+        errors[i] = service::error_from_payload(frame.payload).message;
+      }
+    }
+    sessions_warmed = server.stats().sessions_built;
+    server.stop();
+  } else {
+    const auto lib = library == "commercial65"
+                         ? celllib::make_commercial65_like()
+                         : celllib::make_nangate45_like();
+    const auto design =
+        instances == 0
+            ? netlist::make_openrisc_like(lib)
+            : netlist::generate_design(
+                  "synthetic_" + std::to_string(instances), lib, instances,
+                  {});
+    const auto model = resolve_model(cli);
+    std::vector<yield::FlowJob> jobs;
+    jobs.reserve(sweep.size());
+    for (const auto& params : sweep) jobs.push_back({&design, params});
+    yield::BatchParams batch;
+    batch.n_threads = resolve_threads(cli);
+    try {
+      auto batched = yield::run_flow_batch(lib, jobs, model, batch);
+      for (std::size_t i = 0; i < batched.size(); ++i) {
+        results[i] = std::move(batched[i]);
+      }
+    } catch (const std::exception&) {
+      // One infeasible point poisons the batch; rerun the sweep point by
+      // point so the table shows exactly where the frontier crosses into
+      // feasibility.
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        try {
+          auto params = sweep[i];
+          params.use_interpolant = true;
+          results[i] = yield::run_flow(lib, design, model, params);
+        } catch (const std::exception& e) {
+          errors[i] = e.what();
+        }
+      }
+    }
+  }
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+  util::Table t(std::string("Removal-frontier sweep, aligned-active 1 row "
+                            "(selectivity ") +
+                util::format_sig(selectivity, 3) + " sigma" +
+                (with_shorts ? ", short mode at the swept p_Rm)" : ")"));
+  std::vector<std::string> header = {"p_Rm", "p_Rs (earned)", "p_f per CNT",
+                                     "W_min (nm)", "power penalty"};
+  if (with_shorts) {
+    header.push_back("Y_short");
+    header.push_back("req p_Rm");
+  }
+  header.push_back("status");
+  t.header(std::move(header));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const double p_fail =
+        p_metallic + (1.0 - p_metallic) * frontier[i].p_rs;
+    t.begin_row()
+        .cell(util::format_sig(frontier[i].p_rm, 8))
+        .cell(util::format_pct(frontier[i].p_rs))
+        .num(p_fail, 3);
+    if (results[i]) {
+      const auto& r = results[i]->get(yield::Strategy::AlignedOneRow);
+      t.num(r.w_min, 4).cell(util::format_pct(r.power_penalty));
+      if (with_shorts) {
+        t.cell(util::format_sig(r.short_mode_yield, 6))
+            .cell(util::format_sig(r.required_p_rm, 8));
+      }
+      t.cell("ok");
+    } else {
+      t.cell("-").cell("-");
+      if (with_shorts) t.cell("-").cell("-");
+      t.cell("infeasible");
+    }
+  }
+  std::cout << t.to_text();
+  std::printf("%zu frontier points in %lld ms (%s)\n", sweep.size(),
+              static_cast<long long>(ms),
+              cli.has("via-service")
+                  ? ("service loopback, " + std::to_string(sessions_warmed) +
+                     " derived-corner sessions warmed")
+                        .c_str()
+                  : "direct run_flow_batch, per-corner shared interpolants");
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (!errors[i].empty()) {
+      std::printf("  point %zu (p_Rm = %s): %s\n", i + 1,
+                  util::format_sig(frontier[i].p_rm, 8).c_str(),
+                  errors[i].c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_align(const util::Cli& cli) {
   const auto lib = resolve_library(cli);
   layout::AlignOptions options;
@@ -248,18 +469,6 @@ int cmd_gen_design(const util::Cli& cli) {
               static_cast<unsigned long long>(design.n_instances()),
               static_cast<unsigned long long>(design.n_transistors()));
   return 0;
-}
-
-/// Range-checked numeric flag: out-of-range values must fail loudly (same
-/// policy as unknown flags), not truncate — --port=74310 silently binding
-/// port 8774 would be a debugging trap.
-long require_long_in(const util::Cli& cli, const std::string& name,
-                     long fallback, long lo, long hi) {
-  const long v = cli.get_long(name, fallback);
-  CNY_EXPECT_MSG(v >= lo && v <= hi,
-                 "--" + name + " must be in [" + std::to_string(lo) + ", " +
-                     std::to_string(hi) + "]");
-  return v;
 }
 
 int cmd_serve(const util::Cli& cli) {
@@ -325,6 +534,9 @@ int cmd_request(const util::Cli& cli) {
   request.process.p_remove_s =
       cli.get_double("prs", request.process.p_remove_s);
   request.params = resolve_flow_params(cli);
+  // Client-side preflight with the same validator the server runs: a bad
+  // value fails here with the identical message, without a round trip.
+  service::validate(request);
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = client.call(request);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -348,10 +560,14 @@ int print_version() {
 
 int usage() {
   std::puts(
-      "usage: cntyield_cli <pf|wmin|flow|batch|scaling|table1|table2|align|"
-      "gen-lib|gen-design|serve|request> [flags]\n"
+      "usage: cntyield_cli <pf|wmin|flow|batch|scenarios|scaling|table1|"
+      "table2|align|gen-lib|gen-design|serve|request> [flags]\n"
       "       cntyield_cli --version\n"
       "  flow/batch/serve: --threads=N (0 = hardware concurrency)\n"
+      "  flow/batch/request: --scenario=shorts,length,removal (+ mechanism "
+      "flags)\n"
+      "  scenarios: removal-frontier sweep end-to-end (--with-shorts, "
+      "--via-service)\n"
       "  serve/request: the batching yield service on 127.0.0.1 (see "
       "docs/architecture.md)\n"
       "  see the header of tools/cntyield_cli.cpp for per-command flags");
@@ -361,15 +577,26 @@ int usage() {
 /// Per-command flag allow-list: an unknown flag is an error, not a silently
 /// applied default.
 const std::map<std::string, std::vector<std::string>> kCommandFlags = {
-    {"pf", {"w", "pm", "prs", "cv"}},
+    {"pf", {"w", "pm", "prs", "cv", "pitch-mean"}},
     {"wmin",
-     {"lib", "design", "yield", "relaxation", "chip-m", "pm", "prs", "cv"}},
+     {"lib", "design", "yield", "relaxation", "chip-m", "pm", "prs", "cv",
+      "pitch-mean"}},
     {"flow",
      {"lib", "design", "yield", "chip-m", "mc-samples", "streams", "seed",
-      "threads", "pm", "prs", "cv"}},
+      "threads", "pm", "prs", "cv", "pitch-mean", "scenario", "prm",
+      "noise-fails", "length-mean-um", "length-cv", "length-devices",
+      "selectivity", "prm-target"}},
     {"batch",
      {"lib", "design", "yields", "yield", "no-interp", "chip-m", "mc-samples",
-      "streams", "seed", "threads", "pm", "prs", "cv"}},
+      "streams", "seed", "threads", "pm", "prs", "cv", "pitch-mean",
+      "scenario", "prm", "noise-fails", "length-mean-um", "length-cv",
+      "length-devices", "selectivity", "prm-target"}},
+    {"scenarios",
+     {"points", "selectivity", "prm-lo", "prm-hi", "with-shorts",
+      "via-service", "library", "instances", "yield", "chip-m", "mc-samples",
+      "streams", "seed", "threads", "pm", "prs", "cv", "pitch-mean",
+      "scenario", "prm", "noise-fails", "length-mean-um", "length-cv",
+      "length-devices"}},
     {"scaling", {"relaxation"}},
     {"table1", {}},
     {"table2", {}},
@@ -380,7 +607,8 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"request",
      {"host", "port", "ping", "shutdown", "library", "instances", "yield",
       "chip-m", "mc-samples", "seed", "streams", "pm", "prs", "cv",
-      "pitch-mean"}},
+      "pitch-mean", "scenario", "prm", "noise-fails", "length-mean-um",
+      "length-cv", "length-devices", "selectivity", "prm-target"}},
 };
 
 /// 0 when `cmd` exists and every flag is known; the exit code otherwise.
@@ -417,6 +645,7 @@ int main(int argc, char** argv) {
     if (cmd == "wmin") return cmd_wmin(cli);
     if (cmd == "flow") return cmd_flow(cli);
     if (cmd == "batch") return cmd_batch(cli);
+    if (cmd == "scenarios") return cmd_scenarios(cli);
     if (cmd == "align") return cmd_align(cli);
     if (cmd == "gen-lib") return cmd_gen_lib(cli);
     if (cmd == "gen-design") return cmd_gen_design(cli);
