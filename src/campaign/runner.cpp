@@ -1,0 +1,185 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "exec/thread_pool.h"
+#include "netlist/design.h"
+#include "service/server.h"
+#include "service/session_cache.h"
+#include "yield/flow.h"
+
+namespace cny::campaign {
+
+namespace {
+
+/// One pending point's outcome, chunk-local until the in-order append.
+struct Outcome {
+  std::string result_json;
+  std::string error_code;
+  std::string error_message;
+};
+
+/// The server's evaluate_group without the sockets: one warm session per
+/// group, job-indexed slots, per-job error capture.
+void evaluate_group_direct(const std::vector<const CompiledPoint*>& chunk,
+                           const std::vector<std::size_t>& indices,
+                           std::vector<Outcome>& outcomes,
+                           service::SessionCache& cache,
+                           unsigned n_threads) {
+  std::shared_ptr<const service::Session> session;
+  try {
+    session =
+        cache.acquire(service::session_key(chunk[indices.front()]->request));
+  } catch (const std::exception& e) {
+    for (const std::size_t index : indices) {
+      outcomes[index] = {"", "internal_error", e.what()};
+    }
+    return;
+  }
+  std::vector<std::shared_ptr<const netlist::Design>> designs(indices.size());
+  std::vector<unsigned char> failed(indices.size(), 0);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    try {
+      designs[i] =
+          session->design(chunk[indices[i]]->request.design_instances);
+    } catch (const std::exception& e) {
+      outcomes[indices[i]] = {"", "internal_error", e.what()};
+      failed[i] = 1;
+    }
+  }
+  exec::parallel_for(indices.size(), n_threads, [&](std::size_t i) {
+    if (failed[i]) return;
+    yield::FlowParams params = chunk[indices[i]]->request.params;
+    params.n_threads = n_threads;
+    try {
+      const yield::FlowResult result = yield::run_flow(
+          session->library(), *designs[i], session->model(), params);
+      outcomes[indices[i]] = {service::to_json(result).dump(), "", ""};
+    } catch (const std::exception& e) {
+      // Same code the service wire path uses, so direct and via-service
+      // stores stay byte-identical even on infeasible points.
+      outcomes[indices[i]] = {"", "evaluation_failed", e.what()};
+    }
+  });
+}
+
+void evaluate_chunk_service(const std::vector<const CompiledPoint*>& chunk,
+                            std::vector<Outcome>& outcomes,
+                            service::YieldServer& server) {
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(chunk.size());
+  for (const CompiledPoint* point : chunk) {
+    futures.push_back(
+        server.submit(service::encode_flow_request(point->request)));
+  }
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    const service::Frame frame = service::decode_frame(futures[i].get());
+    if (frame.type == service::FrameType::FlowResponse) {
+      outcomes[i] = {frame.payload, "", ""};
+    } else {
+      const service::ServiceErrorInfo error =
+          service::error_from_payload(frame.payload);
+      outcomes[i] = {"", error.code, error.message};
+    }
+  }
+}
+
+}  // namespace
+
+CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
+                           ResultStore& store, const RunnerOptions& options) {
+  CampaignStats stats;
+  stats.total = points.size();
+
+  // Resume: campaign order minus what the store already holds.
+  std::vector<const CompiledPoint*> pending;
+  for (const CompiledPoint& point : points) {
+    if (store.contains(point.key)) {
+      stats.skipped += 1;
+    } else {
+      pending.push_back(&point);
+    }
+  }
+
+  std::unique_ptr<service::SessionCache> cache;
+  std::unique_ptr<service::YieldServer> server;
+  if (!pending.empty()) {
+    if (options.via_service) {
+      service::ServerOptions server_options;
+      server_options.n_threads = options.n_threads;
+      server_options.cache_capacity = options.cache_capacity;
+      server_options.interpolant_knots = options.interpolant_knots;
+      server = std::make_unique<service::YieldServer>(server_options);
+      server->start();
+    } else {
+      cache = std::make_unique<service::SessionCache>(
+          options.cache_capacity, options.interpolant_knots,
+          options.n_threads);
+    }
+  }
+
+  const std::size_t chunk_size =
+      options.checkpoint_every == 0 ? pending.size() : options.checkpoint_every;
+  std::size_t done = 0;
+  while (done < pending.size()) {
+    if (options.interrupted && options.interrupted()) {
+      stats.interrupted = true;
+      break;
+    }
+    const std::size_t n = std::min(chunk_size, pending.size() - done);
+    const std::vector<const CompiledPoint*> chunk(
+        pending.begin() + static_cast<std::ptrdiff_t>(done),
+        pending.begin() + static_cast<std::ptrdiff_t>(done + n));
+    std::vector<Outcome> outcomes(chunk.size());
+    if (server != nullptr) {
+      evaluate_chunk_service(chunk, outcomes, *server);
+    } else {
+      // Group by session key so each warm corner is evaluated once per
+      // chunk; std::map iteration keeps the group order deterministic.
+      std::map<std::string, std::vector<std::size_t>> groups;
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        groups[service::session_key(chunk[i]->request).canonical()]
+            .push_back(i);
+      }
+      for (const auto& [canonical, indices] : groups) {
+        evaluate_group_direct(chunk, indices, outcomes, *cache,
+                              options.n_threads);
+      }
+    }
+    // Checkpoint: append this chunk's records in campaign order. Only
+    // after a record is on disk does it count as done.
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      StoreRecord record;
+      record.key = chunk[i]->key;
+      record.index = chunk[i]->index;
+      record.request_json = canonical_request(chunk[i]->request);
+      record.result_json = std::move(outcomes[i].result_json);
+      record.error_code = std::move(outcomes[i].error_code);
+      record.error_message = std::move(outcomes[i].error_message);
+      if (record.error_code.empty()) {
+        stats.evaluated += 1;
+      } else {
+        stats.failed += 1;
+      }
+      store.append(std::move(record));
+    }
+    done += n;
+    if (options.progress) options.progress(done, pending.size());
+  }
+
+  if (server != nullptr) {
+    stats.sessions_built = server->stats().sessions_built;
+    server->stop();
+  } else if (cache != nullptr) {
+    stats.sessions_built = cache->sessions_built();
+  }
+  return stats;
+}
+
+}  // namespace cny::campaign

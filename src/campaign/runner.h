@@ -1,0 +1,73 @@
+// Campaign executor — pushes compiled campaign points (campaign/spec.h)
+// through the existing flow paths and lands every finished point in a
+// ResultStore (campaign/store.h).
+//
+// Execution is chunked: `checkpoint_every` pending points at a time, each
+// chunk grouped by session key (library + derived process corner, exactly
+// the server's grouping) so a sweep crossing K corners warms K models, not
+// one per point. Records are appended strictly in campaign order with a
+// flush per line — the checkpoint granularity is the most a kill can cost.
+//
+// Two paths, one byte-identical store:
+//   * direct      — a private service::SessionCache + exec::parallel_for
+//                   over yield::run_flow, the server's evaluate_group
+//                   without the sockets;
+//   * via_service — a loopback YieldServer (submit/decode), proving the
+//                   wire path agrees.
+// Both read warm full-bracket interpolants, so results are invariant under
+// chunking, grouping, thread count, and interruption — which is what makes
+// "killed + resumed == uninterrupted" a byte-equality statement.
+//
+// Resume falls out of the store: points whose key is already present are
+// skipped (counted in CampaignStats::skipped), so re-running a finished
+// campaign performs zero flow evaluations. Error records are deterministic
+// outcomes and are *not* retried.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "campaign/spec.h"
+#include "campaign/store.h"
+
+namespace cny::campaign {
+
+struct RunnerOptions {
+  /// Compute threads per group (0 = hardware concurrency). Scheduling
+  /// only: results are invariant under this knob.
+  unsigned n_threads = 0;
+  /// Points per chunk between store checkpoints / interrupt polls
+  /// (0 = one chunk for the whole campaign).
+  std::size_t checkpoint_every = 16;
+  /// Evaluate through a loopback YieldServer instead of directly.
+  bool via_service = false;
+  /// Warm (library, corner) sessions kept alive, LRU-evicted.
+  std::size_t cache_capacity = 8;
+  /// Knots of each session's log-p_F interpolant.
+  std::size_t interpolant_knots = 65;
+  /// Polled between chunks; returning true checkpoints and stops (the CLI
+  /// wires SIGTERM/SIGINT here). Never interrupts mid-chunk.
+  std::function<bool()> interrupted;
+  /// Invoked after every chunk with (points done this run, points pending
+  /// at start); for CLI progress lines.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+struct CampaignStats {
+  std::size_t total = 0;      ///< compiled campaign points
+  std::size_t skipped = 0;    ///< already in the store (resume no-ops)
+  std::size_t evaluated = 0;  ///< successful flow evaluations this run
+  std::size_t failed = 0;     ///< error records appended this run
+  std::uint64_t sessions_built = 0;  ///< cache misses (model warm-ups)
+  bool interrupted = false;   ///< stopped at a checkpoint before finishing
+};
+
+/// Runs every point not yet in `store`, appending one record per finished
+/// point in campaign order. Throws on store I/O failures; per-point
+/// evaluation failures become "evaluation_failed" records instead.
+CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
+                           ResultStore& store,
+                           const RunnerOptions& options = {});
+
+}  // namespace cny::campaign

@@ -1,0 +1,125 @@
+// CampaignSpec — a parameter-sweep study compiled into a deterministic,
+// stably-ordered stream of service::FlowRequests (OMNeT++'s ini study/run
+// machinery is the exemplar: a tiny spec expands into thousands of runs,
+// every run individually addressable).
+//
+// A spec is three parts over one shared parameter namespace (param_paths):
+//
+//   base      scalar overrides applied to a default FlowRequest
+//             ("library" is the only non-numeric key)
+//   axes      named sweep axes (campaign/sweep.h expressions); the compiled
+//             stream is their cartesian product in declaration order,
+//             LAST axis fastest (row-major)
+//   derived   parameters computed per point from axis/derived values via
+//             $name references; evaluated in dependency order, cycles
+//             rejected at compile time
+//
+// Canonical JSON form (campaign_from_json / to_json — parse→dump is
+// byte-stable like the rest of the service JSON):
+//
+//   {"name":"frontier",
+//    "base":{"library":"nangate45","mc_samples":300,"seed":7,
+//            "scenario.removal.selectivity":6},
+//    "axes":[{"name":"prm","param":"scenario.removal.p_rm_target",
+//             "values":"probit:0.999:0.9999999:5"}],
+//    "derived":[{"param":"yield","expr":"min(0.9, $prm)"}]}
+//
+// compile() turns a spec into CompiledPoints: index (campaign order), the
+// fully-derived FlowRequest (validated with the same service::validate the
+// wire path runs), and the request key — the FNV-1a-64 hash of the
+// request's canonical JSON, printed as 16 hex digits. The key is what the
+// result store (campaign/store.h) is addressed by, so its stability is a
+// contract: if canonical request JSON ever drifts, the pinned golden hash
+// in tests/test_campaign.cpp fails loudly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace cny::campaign {
+
+struct Axis {
+  /// $reference name; defaults to the last '.'-segment of `param`.
+  std::string name;
+  /// Parameter path (see param_paths()), e.g. "yield" or
+  /// "scenario.removal.p_rm_target".
+  std::string param;
+  /// Sweep expression (campaign/sweep.h).
+  std::string values;
+};
+
+struct DerivedParam {
+  /// $reference name other derived parameters may use; defaults to the
+  /// last '.'-segment of `param`.
+  std::string name;
+  std::string param;
+  /// Arithmetic expression over $axis / $derived references.
+  std::string expr;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  /// The request every point starts from; axes and derived parameters
+  /// overwrite fields on a copy.
+  service::FlowRequest base;
+  std::vector<Axis> axes;
+  std::vector<DerivedParam> derived;
+};
+
+/// One compiled campaign point.
+struct CompiledPoint {
+  std::size_t index = 0;               ///< position in campaign order
+  std::vector<double> axis_values;     ///< one per axis, declaration order
+  service::FlowRequest request;
+  std::string key;                     ///< request_key(request)
+};
+
+/// Every settable numeric parameter path, in canonical order. Setting a
+/// "scenario.*" path enables that mechanism with defaults first.
+[[nodiscard]] const std::vector<std::string>& param_paths();
+
+/// Writes `value` at `path` on `request`. Integer-valued paths (instances,
+/// mc_samples, seed, streams, scenario.length.devices) require an integral
+/// value. Throws std::invalid_argument naming the path (and listing the
+/// known paths for an unknown one).
+void set_param(service::FlowRequest& request, std::string_view path,
+               double value);
+
+/// Reads the value at `path` (mechanism defaults for a disabled
+/// "scenario.*" path). Throws std::invalid_argument on an unknown path.
+[[nodiscard]] double get_param(const service::FlowRequest& request,
+                               std::string_view path);
+
+/// The canonical JSON bytes of a request — exactly what crosses the
+/// service wire, and the preimage of request_key().
+[[nodiscard]] std::string canonical_request(
+    const service::FlowRequest& request);
+
+/// FNV-1a 64-bit over `bytes`.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// The store key of a request: fnv1a64(canonical_request(request)) as 16
+/// lowercase hex digits.
+[[nodiscard]] std::string request_key(const service::FlowRequest& request);
+
+// JSON codec. to_json output is canonical (axes/derived carry their
+// explicit names); campaign_from_json throws std::invalid_argument naming
+// the offending field.
+[[nodiscard]] service::Json to_json(const CampaignSpec& spec);
+[[nodiscard]] CampaignSpec campaign_from_json(const service::Json& v);
+/// Reads and parses a spec file (JSON); throws on I/O or parse errors.
+[[nodiscard]] CampaignSpec load_campaign(const std::string& path);
+
+/// Expands every axis, resolves derived-parameter dependencies
+/// (topological order; a cycle or unknown $reference is rejected with an
+/// actionable message), walks the cartesian product row-major (last axis
+/// fastest), and validates every request with service::validate. The
+/// result is deterministic and stably ordered: same spec, same stream,
+/// same keys — the foundation the resumable store builds on.
+[[nodiscard]] std::vector<CompiledPoint> compile(const CampaignSpec& spec);
+
+}  // namespace cny::campaign

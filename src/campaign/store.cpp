@@ -1,0 +1,150 @@
+#include "campaign/store.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace cny::campaign {
+
+using service::Json;
+using service::JsonError;
+
+std::string StoreRecord::line() const {
+  Json v = Json::object();
+  v.set("key", Json::string(key));
+  v.set("index", Json::number(index));
+  v.set("request", Json::parse(request_json));
+  if (error_code.empty()) {
+    v.set("result", Json::parse(result_json));
+  } else {
+    Json error = Json::object();
+    error.set("code", Json::string(error_code));
+    error.set("message", Json::string(error_message));
+    v.set("error", std::move(error));
+  }
+  return v.dump();
+}
+
+StoreRecord StoreRecord::from_line(std::string_view line) {
+  try {
+    const Json v = Json::parse(line);
+    StoreRecord record;
+    record.key = v.at("key").as_string();
+    record.index = v.at("index").as_u64();
+    record.request_json = v.at("request").dump();
+    if (const Json* error = v.find("error")) {
+      record.error_code = error->at("code").as_string();
+      record.error_message = error->at("message").as_string();
+      if (record.error_code.empty()) {
+        throw StoreError("store record has an empty error code");
+      }
+    } else {
+      record.result_json = v.at("result").dump();
+    }
+    if (record.key.size() != 16 ||
+        record.key.find_first_not_of("0123456789abcdef") !=
+            std::string::npos) {
+      throw StoreError("store record key '" + record.key +
+                       "' is not 16 lowercase hex digits");
+    }
+    return record;
+  } catch (const JsonError& e) {
+    throw StoreError(std::string("malformed store line: ") + e.what());
+  }
+}
+
+ResultStore::ResultStore(const std::string& path) : path_(path) {
+  // Load phase: read everything already on disk. "a+" would do, but an
+  // explicit read keeps load and append failure modes separate.
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  // A store is newline-terminated after every append, so bytes after the
+  // last '\n' are a line a killed writer never finished — drop them. Bytes
+  // *before* it are complete lines and must parse.
+  std::size_t complete = text.size();
+  if (complete > 0 && text[complete - 1] != '\n') {
+    const auto last_newline = text.rfind('\n');
+    complete = last_newline == std::string::npos ? 0 : last_newline + 1;
+  }
+  std::size_t begin = 0;
+  while (begin < complete) {
+    const std::size_t end = text.find('\n', begin);
+    const std::string_view line(text.data() + begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    StoreRecord record;
+    try {
+      record = StoreRecord::from_line(line);
+    } catch (const StoreError& e) {
+      throw StoreError("store '" + path + "': " + e.what());
+    }
+    if (by_key_.count(record.key) > 0) {
+      throw StoreError("store '" + path + "': duplicate key '" + record.key +
+                       "'");
+    }
+    by_key_.emplace(record.key, records_.size());
+    records_.push_back(std::move(record));
+  }
+  // Append phase: physically truncate the partial tail (so a resumed store
+  // is byte-identical to an uninterrupted one even if nothing more is ever
+  // appended), then keep one append handle with per-line flushes. "r+"
+  // preserves the complete prefix; the file may not exist yet, in which
+  // case create it.
+  if (complete < text.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, complete, ec);
+    if (ec) {
+      throw StoreError("cannot truncate partial tail of result store '" +
+                       path + "': " + ec.message());
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr && errno == ENOENT) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    throw std::invalid_argument("cannot open result store '" + path +
+                                "': " + std::strerror(errno));
+  }
+  file_.reset(f);
+  if (std::fseek(f, static_cast<long>(complete), SEEK_SET) != 0) {
+    throw StoreError("cannot seek in result store '" + path + "'");
+  }
+}
+
+void ResultStore::append(StoreRecord record) {
+  if (by_key_.count(record.key) > 0) {
+    throw StoreError("duplicate store key '" + record.key +
+                     "' (same canonical request evaluated twice)");
+  }
+  if (file_ != nullptr) {
+    const std::string line = record.line() + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_.get()) !=
+            line.size() ||
+        std::fflush(file_.get()) != 0) {
+      throw StoreError("write to result store '" + path_ +
+                       "' failed: " + std::strerror(errno));
+    }
+  }
+  by_key_.emplace(record.key, records_.size());
+  records_.push_back(std::move(record));
+}
+
+bool ResultStore::contains(const std::string& key) const {
+  return by_key_.count(key) > 0;
+}
+
+const StoreRecord* ResultStore::find(const std::string& key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &records_[it->second];
+}
+
+}  // namespace cny::campaign

@@ -1,0 +1,91 @@
+// Resumable on-disk result store — one JSONL line per finished campaign
+// point, keyed by request_key (campaign/spec.h).
+//
+// Line format (canonical service::Json, so dump(parse(line)) == line):
+//
+//   {"key":"26ca08f3…","index":3,"request":{…},"result":{…}}
+//   {"key":"9d41c2aa…","index":4,"request":{…},
+//    "error":{"code":"evaluation_failed","message":"…"}}
+//
+// The durability contract is append-only + flush-per-line: a killed
+// campaign loses at most the records of its in-flight chunk, and the only
+// possible corruption is a partial *final* line, which load() detects (no
+// trailing newline) and truncates away. Any *complete* line that fails to
+// parse is real corruption and throws StoreError — silently dropping
+// finished work would make "resume" quietly recompute or, worse, skip.
+//
+// Error records count as done: an infeasible point is a deterministic
+// property of its request, so resume must not retry it (that would make an
+// interrupted-and-resumed store differ from an uninterrupted one).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/json.h"
+
+namespace cny::campaign {
+
+/// Store file corruption or misuse (duplicate key, malformed line).
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One finished campaign point. Exactly one of result_json / error_code is
+/// set ("" = absent).
+struct StoreRecord {
+  std::string key;           ///< request_key(request), 16 hex digits
+  std::uint64_t index = 0;   ///< campaign order position
+  std::string request_json;  ///< canonical_request(request)
+  std::string result_json;   ///< canonical FlowResult JSON; "" on error
+  std::string error_code;    ///< e.g. "evaluation_failed"; "" on success
+  std::string error_message;
+
+  /// The canonical JSONL line (no trailing newline).
+  [[nodiscard]] std::string line() const;
+  /// Parses one complete line; throws StoreError on malformed input.
+  [[nodiscard]] static StoreRecord from_line(std::string_view line);
+};
+
+/// Append-only record set, optionally file-backed. Not thread-safe: the
+/// campaign runner appends from its coordinating thread only, in campaign
+/// order, which is what makes stores byte-comparable across runs.
+class ResultStore {
+ public:
+  /// In-memory store (tests, --dry-run accounting).
+  ResultStore() = default;
+
+  /// File-backed store: loads existing records from `path` (creating the
+  /// file if absent), truncates a partial trailing line left by a kill
+  /// mid-write, and appends subsequent records to the file with a flush
+  /// per line. Throws StoreError on corrupt complete lines or duplicate
+  /// keys, std::invalid_argument when the file cannot be opened.
+  explicit ResultStore(const std::string& path);
+
+  void append(StoreRecord record);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// nullptr when absent; pointer stable until the next append.
+  [[nodiscard]] const StoreRecord* find(const std::string& key) const;
+  [[nodiscard]] const std::vector<StoreRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;  ///< "" for in-memory stores
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_{nullptr,
+                                                        std::fclose};
+  std::vector<StoreRecord> records_;
+  std::map<std::string, std::size_t> by_key_;  ///< key -> records_ index
+};
+
+}  // namespace cny::campaign

@@ -11,7 +11,15 @@
 //                        (yield-target sweep through run_flow_batch)
 //   cntyield_cli scenarios [--points=6] [--selectivity=4.24]
 //                        [--prm-lo=0.99] [--prm-hi=0.9999999] [--with-shorts]
-//                        [--via-service] (removal-frontier sweep end-to-end)
+//                        [--via-service] (removal-frontier sweep end-to-end;
+//                        a thin wrapper over the campaign runner)
+//   cntyield_cli campaign --spec=FILE | --axes="path=expr;..."
+//                        [--derived="path=expr;..."] [--set="path=v;..."]
+//                        [--name=N] [--store=FILE] [--chunk=16]
+//                        [--via-service] [--dry-run] [--print-spec]
+//                        [--table] [--cache-size=8] [--knots=65]
+//                        (general parameter sweeps; resumable store; exit 3
+//                        on SIGTERM/SIGINT after checkpointing)
 //   cntyield_cli scaling [--relaxation=350] (Fig 2.2b / 3.3 series)
 //   cntyield_cli table1  / table2            (paper tables)
 //   cntyield_cli align   [--lib=FILE] [--wmin=103] [--rows=1] [--out=FILE]
@@ -41,13 +49,16 @@
 //   --selectivity=4.24 --prm-target=0.9999                   RemovalFrontier
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "campaign/runner.h"
 #include "celllib/generator.h"
 #include "celllib/liberty_lite.h"
 #include "cnt/removal_tradeoff.h"
@@ -258,14 +269,49 @@ int cmd_batch(const util::Cli& cli) {
   return 0;
 }
 
+/// The base FlowRequest the sweep subcommands start from: library, design
+/// size, process corner and FlowParams resolved from the familiar flags.
+service::FlowRequest resolve_flow_request(const util::Cli& cli) {
+  service::FlowRequest request;
+  request.library = cli.get("library", request.library);
+  // Same policy as unknown flags: a typo'd library must fail loudly on
+  // both evaluation paths, not silently sweep the default; the instance
+  // count gets the same bound the server enforces, so a negative value
+  // cannot wrap into an absurd design generation on the direct path.
+  CNY_EXPECT_MSG(
+      request.library == "nangate45" || request.library == "commercial65",
+      "--library must be \"nangate45\" or \"commercial65\"");
+  request.design_instances = static_cast<std::uint64_t>(
+      require_long_in(cli, "instances", 0, 0, 2'000'000));
+  request.process.pitch_mean_nm =
+      cli.get_double("pitch-mean", request.process.pitch_mean_nm);
+  request.process.pitch_cv = cli.get_double("cv", request.process.pitch_cv);
+  request.process.p_metallic =
+      cli.get_double("pm", request.process.p_metallic);
+  request.process.p_remove_s =
+      cli.get_double("prs", request.process.p_remove_s);
+  request.params = resolve_flow_params(cli);
+  return request;
+}
+
 /// Removal-frontier sweep end-to-end: every point targets one p_Rm on the
 /// probit frontier, earns its p_Rs (and, with --with-shorts, pays the
 /// short-mode tax at that same p_Rm), and runs the whole strategy flow.
-/// --via-service routes each point through an in-process YieldServer's
-/// loopback path — the full protocol (decode, validate, session cache on
-/// the derived corner, coalesce, encode) with no socket; infeasible points
-/// come back as error frames and render as "infeasible" rows instead of
-/// aborting the sweep.
+/// Since PR 6 this is a thin wrapper over the campaign runner — the
+/// hardcoded sweep is the campaign spec
+///
+///   {"name":"removal-frontier",
+///    "base":{...flags..., "scenario.removal.selectivity":S},
+///    "axes":[{"name":"prm","param":"scenario.removal.p_rm_target",
+///             "values":"probit:LO:HI:N"}]}
+///
+/// compiled and executed in memory (the probit sweep form is bit-identical
+/// to cnt::RemovalTradeoff::frontier, asserted below). --via-service
+/// routes the campaign through an in-process YieldServer's loopback path —
+/// the full protocol (decode, validate, session cache on the derived
+/// corner, coalesce, encode) with no socket; infeasible points come back
+/// as error records and render as "infeasible" rows instead of aborting
+/// the sweep.
 int cmd_scenarios(const util::Cli& cli) {
   const double selectivity = cli.get_double("selectivity", 4.24);
   const int points = static_cast<int>(require_long_in(cli, "points", 6, 2, 200));
@@ -276,107 +322,56 @@ int cmd_scenarios(const util::Cli& cli) {
   const cnt::RemovalTradeoff tradeoff(selectivity);
   const auto frontier = tradeoff.frontier(prm_lo, prm_hi, points);
 
-  auto base = resolve_flow_params(cli);
-  if (cli.has("with-shorts") && !base.scenario.shorts) {
-    base.scenario.shorts.emplace();
-    base.scenario.shorts->p_noise_fails = cli.get_double(
-        "noise-fails", base.scenario.shorts->p_noise_fails);
+  campaign::CampaignSpec spec;
+  spec.name = "removal-frontier";
+  spec.base = resolve_flow_request(cli);
+  if (cli.has("with-shorts") && !spec.base.params.scenario.shorts) {
+    spec.base.params.scenario.shorts.emplace();
+    spec.base.params.scenario.shorts->p_noise_fails = cli.get_double(
+        "noise-fails", spec.base.params.scenario.shorts->p_noise_fails);
   }
-  const bool with_shorts = base.scenario.shorts.has_value();
-  std::vector<yield::FlowParams> sweep;
-  sweep.reserve(frontier.size());
-  for (const auto& point : frontier) {
-    auto params = base;
-    params.scenario.removal =
-        scenario::RemovalFrontier{selectivity, point.p_rm};
-    sweep.push_back(params);
+  const bool with_shorts = spec.base.params.scenario.shorts.has_value();
+  spec.base.params.scenario.removal =
+      scenario::RemovalFrontier{selectivity, prm_lo};
+  spec.axes.push_back(
+      {"prm", "scenario.removal.p_rm_target",
+       "probit:" + service::Json::number(prm_lo).dump() + ":" +
+           service::Json::number(prm_hi).dump() + ":" +
+           std::to_string(points)});
+
+  const double p_metallic = spec.base.process.p_metallic;
+  const auto compiled = campaign::compile(spec);
+  for (std::size_t i = 0; i < compiled.size(); ++i) {
+    // The campaign probit axis must reproduce the frontier ladder bit for
+    // bit — the "one sweep path, not two" guarantee.
+    CNY_EXPECT_MSG(compiled[i].axis_values[0] == frontier[i].p_rm,
+                   "campaign probit axis diverged from the removal frontier");
   }
 
-  const std::string library = cli.get("library", "nangate45");
-  // Same policy as unknown flags: a typo'd library must fail loudly on
-  // both evaluation paths, not silently sweep the default; the instance
-  // count gets the same bound the server enforces, so a negative value
-  // cannot wrap into an absurd design generation on the direct path.
-  CNY_EXPECT_MSG(library == "nangate45" || library == "commercial65",
-                 "--library must be \"nangate45\" or \"commercial65\"");
-  const auto instances = static_cast<std::uint64_t>(
-      require_long_in(cli, "instances", 0, 0, 2'000'000));
-  const double p_metallic = cli.get_double("pm", 0.33);
-
-  std::vector<std::optional<yield::FlowResult>> results(sweep.size());
-  std::vector<std::string> errors(sweep.size());
-  std::uint64_t sessions_warmed = 0;
+  campaign::ResultStore store;  // in-memory: scenarios renders, never resumes
+  campaign::RunnerOptions options;
+  options.n_threads = resolve_threads(cli);
+  options.checkpoint_every = 0;
+  options.via_service = cli.has("via-service");
+  options.cache_capacity = compiled.size();
   const auto t0 = std::chrono::steady_clock::now();
-  if (cli.has("via-service")) {
-    service::ServerOptions options;
-    options.listen = false;
-    options.n_threads = resolve_threads(cli);
-    options.coalesce_window_us = 0;
-    options.cache_capacity = sweep.size();
-    service::YieldServer server(options);
-    server.start();
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-      service::FlowRequest request;
-      request.library = library;
-      request.design_instances = instances;
-      request.process.pitch_mean_nm =
-          cli.get_double("pitch-mean", request.process.pitch_mean_nm);
-      request.process.pitch_cv = cli.get_double("cv", request.process.pitch_cv);
-      request.process.p_metallic = p_metallic;
-      request.process.p_remove_s =
-          cli.get_double("prs", request.process.p_remove_s);
-      request.params = sweep[i];
-      const std::string response =
-          server.submit(service::encode_flow_request(request)).get();
-      const auto frame = service::decode_frame(response);
-      if (frame.type == service::FrameType::FlowResponse) {
-        results[i] = service::flow_result_from_json(
-            service::Json::parse(frame.payload));
-      } else {
-        errors[i] = service::error_from_payload(frame.payload).message;
-      }
-    }
-    sessions_warmed = server.stats().sessions_built;
-    server.stop();
-  } else {
-    const auto lib = library == "commercial65"
-                         ? celllib::make_commercial65_like()
-                         : celllib::make_nangate45_like();
-    const auto design =
-        instances == 0
-            ? netlist::make_openrisc_like(lib)
-            : netlist::generate_design(
-                  "synthetic_" + std::to_string(instances), lib, instances,
-                  {});
-    const auto model = resolve_model(cli);
-    std::vector<yield::FlowJob> jobs;
-    jobs.reserve(sweep.size());
-    for (const auto& params : sweep) jobs.push_back({&design, params});
-    yield::BatchParams batch;
-    batch.n_threads = resolve_threads(cli);
-    try {
-      auto batched = yield::run_flow_batch(lib, jobs, model, batch);
-      for (std::size_t i = 0; i < batched.size(); ++i) {
-        results[i] = std::move(batched[i]);
-      }
-    } catch (const std::exception&) {
-      // One infeasible point poisons the batch; rerun the sweep point by
-      // point so the table shows exactly where the frontier crosses into
-      // feasibility.
-      for (std::size_t i = 0; i < sweep.size(); ++i) {
-        try {
-          auto params = sweep[i];
-          params.use_interpolant = true;
-          results[i] = yield::run_flow(lib, design, model, params);
-        } catch (const std::exception& e) {
-          errors[i] = e.what();
-        }
-      }
-    }
-  }
+  const auto stats = campaign::run_campaign(compiled, store, options);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+
+  std::vector<std::optional<yield::FlowResult>> results(compiled.size());
+  std::vector<std::string> errors(compiled.size());
+  for (std::size_t i = 0; i < compiled.size(); ++i) {
+    const campaign::StoreRecord* record = store.find(compiled[i].key);
+    CNY_EXPECT_MSG(record != nullptr, "campaign left a point unevaluated");
+    if (record->error_code.empty()) {
+      results[i] = service::flow_result_from_json(
+          service::Json::parse(record->result_json));
+    } else {
+      errors[i] = record->error_message;
+    }
+  }
 
   util::Table t(std::string("Removal-frontier sweep, aligned-active 1 row "
                             "(selectivity ") +
@@ -390,7 +385,7 @@ int cmd_scenarios(const util::Cli& cli) {
   }
   header.push_back("status");
   t.header(std::move(header));
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
+  for (std::size_t i = 0; i < compiled.size(); ++i) {
     const double p_fail =
         p_metallic + (1.0 - p_metallic) * frontier[i].p_rs;
     t.begin_row()
@@ -412,19 +407,170 @@ int cmd_scenarios(const util::Cli& cli) {
     }
   }
   std::cout << t.to_text();
-  std::printf("%zu frontier points in %lld ms (%s)\n", sweep.size(),
-              static_cast<long long>(ms),
-              cli.has("via-service")
-                  ? ("service loopback, " + std::to_string(sessions_warmed) +
-                     " derived-corner sessions warmed")
-                        .c_str()
-                  : "direct run_flow_batch, per-corner shared interpolants");
+  std::printf("%zu frontier points in %lld ms (%s, %llu derived-corner "
+              "sessions warmed)\n",
+              compiled.size(), static_cast<long long>(ms),
+              options.via_service ? "campaign runner, service loopback"
+                                  : "campaign runner, direct",
+              static_cast<unsigned long long>(stats.sessions_built));
   for (std::size_t i = 0; i < errors.size(); ++i) {
     if (!errors[i].empty()) {
       std::printf("  point %zu (p_Rm = %s): %s\n", i + 1,
                   util::format_sig(frontier[i].p_rm, 8).c_str(),
                   errors[i].c_str());
     }
+  }
+  return 0;
+}
+
+/// Campaign interrupt flag — SIGTERM/SIGINT checkpoint the store and exit 3
+/// (async-signal-safe: the handler only sets the flag; the runner polls it
+/// between chunks).
+volatile std::sig_atomic_t g_campaign_interrupted = 0;
+
+/// "key=value;key=value" pairs (';'-separated so sweep expressions keep
+/// their commas), split at the FIRST '=' so values may contain '='.
+std::vector<std::pair<std::string, std::string>> parse_pairs(
+    const std::string& text, const std::string& flag) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& entry : util::split(text, ';')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    CNY_EXPECT_MSG(eq != std::string::npos && eq > 0,
+                   "--" + flag + ": entry '" + entry +
+                       "' is not of the form key=value");
+    out.emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+  return out;
+}
+
+/// General parameter-sweep campaigns over the flow (docs/architecture.md
+/// "Campaign runner"): a spec (JSON file via --spec, or built inline from
+/// --axes/--derived/--set plus the familiar base flags) compiles into a
+/// deterministic stream of FlowRequests; finished points land in a
+/// resumable JSONL store (--store) keyed by the canonical-request hash, so
+/// a killed campaign resumes where it stopped and re-running a finished
+/// one evaluates nothing.
+int cmd_campaign(const util::Cli& cli) {
+  campaign::CampaignSpec spec;
+  if (cli.has("spec")) {
+    CNY_EXPECT_MSG(
+        !cli.has("axes") && !cli.has("derived") && !cli.has("name"),
+        "--spec is authoritative: use --set for base overrides, not "
+        "--axes/--derived/--name");
+    spec = campaign::load_campaign(cli.get("spec", ""));
+  } else {
+    spec.name = cli.get("name", "campaign");
+    spec.base = resolve_flow_request(cli);
+    for (const auto& [param, expr] : parse_pairs(cli.get("axes", ""), "axes")) {
+      spec.axes.push_back({"", param, expr});
+    }
+    for (const auto& [param, expr] :
+         parse_pairs(cli.get("derived", ""), "derived")) {
+      spec.derived.push_back({"", param, expr});
+    }
+  }
+  for (const auto& [path, value] : parse_pairs(cli.get("set", ""), "set")) {
+    campaign::set_param(spec.base, path, util::parse_double(value));
+  }
+
+  const auto compiled = campaign::compile(spec);
+  if (cli.has("print-spec")) {
+    std::printf("%s\n", campaign::to_json(spec).dump().c_str());
+    return 0;
+  }
+
+  // Distinct derived corners = sessions an uninterrupted run warms.
+  std::vector<std::string> corners;
+  for (const auto& point : compiled) {
+    const std::string corner = service::session_key(point.request).canonical();
+    if (std::find(corners.begin(), corners.end(), corner) == corners.end()) {
+      corners.push_back(corner);
+    }
+  }
+
+  const std::string store_path = cli.get("store", "");
+  campaign::ResultStore store =
+      store_path.empty() ? campaign::ResultStore()
+                         : campaign::ResultStore(store_path);
+  std::size_t stored = 0;
+  for (const auto& point : compiled) {
+    if (store.contains(point.key)) stored += 1;
+  }
+  std::printf("campaign '%s': %zu points over %zu axes, %zu derived "
+              "corner(s), %zu already stored\n",
+              spec.name.c_str(), compiled.size(), spec.axes.size(),
+              corners.size(), stored);
+  if (cli.has("dry-run")) return 0;
+
+  campaign::RunnerOptions options;
+  options.n_threads = resolve_threads(cli);
+  options.checkpoint_every = static_cast<std::size_t>(
+      require_long_in(cli, "chunk", 16, 0, 1'000'000));
+  options.via_service = cli.has("via-service");
+  options.cache_capacity = static_cast<std::size_t>(
+      require_long_in(cli, "cache-size", 8, 1, 1024));
+  options.interpolant_knots = static_cast<std::size_t>(require_long_in(
+      cli, "knots", 65, 4, 100000));
+  g_campaign_interrupted = 0;
+  std::signal(SIGTERM, [](int) { g_campaign_interrupted = 1; });
+  std::signal(SIGINT, [](int) { g_campaign_interrupted = 1; });
+  options.interrupted = [] { return g_campaign_interrupted != 0; };
+  options.progress = [](std::size_t done, std::size_t pending) {
+    std::fprintf(stderr, "  checkpoint %zu/%zu\n", done, pending);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto stats = campaign::run_campaign(compiled, store, options);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  if (cli.has("table")) {
+    util::Table t("Campaign '" + spec.name + "' (aligned-active, 1 row)");
+    std::vector<std::string> header = {"#"};
+    for (const auto& axis : spec.axes) {
+      header.push_back(axis.name.empty() ? axis.param : axis.name);
+    }
+    header.insert(header.end(), {"W_min (nm)", "power penalty", "status"});
+    t.header(std::move(header));
+    for (const auto& point : compiled) {
+      const campaign::StoreRecord* record = store.find(point.key);
+      auto& row = t.begin_row().cell(std::to_string(point.index));
+      for (const double v : point.axis_values) {
+        row.cell(service::Json::number(v).dump());
+      }
+      if (record == nullptr) {
+        row.cell("-").cell("-").cell("pending");
+      } else if (record->error_code.empty()) {
+        const auto result = service::flow_result_from_json(
+            service::Json::parse(record->result_json));
+        const auto& r = result.get(yield::Strategy::AlignedOneRow);
+        row.num(r.w_min, 4)
+            .cell(util::format_pct(r.power_penalty))
+            .cell("ok");
+      } else {
+        row.cell("-").cell("-").cell(record->error_code);
+      }
+    }
+    std::cout << t.to_text();
+  }
+
+  std::printf("%zu evaluated + %zu failed + %zu skipped of %zu points in "
+              "%lld ms (%s, %llu sessions warmed%s)\n",
+              stats.evaluated, stats.failed, stats.skipped, stats.total,
+              static_cast<long long>(ms),
+              options.via_service ? "service loopback" : "direct",
+              static_cast<unsigned long long>(stats.sessions_built),
+              store_path.empty() ? ", in-memory store" : "");
+  if (stats.interrupted) {
+    std::printf("interrupted: %zu points still pending in '%s' — re-run "
+                "the same command to resume\n",
+                stats.total - store.size(),
+                store_path.empty() ? "<memory>" : store_path.c_str());
+    return 3;
   }
   return 0;
 }
@@ -560,14 +706,16 @@ int print_version() {
 
 int usage() {
   std::puts(
-      "usage: cntyield_cli <pf|wmin|flow|batch|scenarios|scaling|table1|"
-      "table2|align|gen-lib|gen-design|serve|request> [flags]\n"
+      "usage: cntyield_cli <pf|wmin|flow|batch|scenarios|campaign|scaling|"
+      "table1|table2|align|gen-lib|gen-design|serve|request> [flags]\n"
       "       cntyield_cli --version\n"
       "  flow/batch/serve: --threads=N (0 = hardware concurrency)\n"
       "  flow/batch/request: --scenario=shorts,length,removal (+ mechanism "
       "flags)\n"
       "  scenarios: removal-frontier sweep end-to-end (--with-shorts, "
       "--via-service)\n"
+      "  campaign: general sweeps with a resumable store (--spec/--axes, "
+      "--store, --via-service)\n"
       "  serve/request: the batching yield service on 127.0.0.1 (see "
       "docs/architecture.md)\n"
       "  see the header of tools/cntyield_cli.cpp for per-command flags");
@@ -597,6 +745,13 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
       "streams", "seed", "threads", "pm", "prs", "cv", "pitch-mean",
       "scenario", "prm", "noise-fails", "length-mean-um", "length-cv",
       "length-devices"}},
+    {"campaign",
+     {"spec", "axes", "derived", "set", "name", "store", "chunk",
+      "via-service", "dry-run", "print-spec", "table", "cache-size", "knots",
+      "threads", "library", "instances", "yield", "chip-m", "mc-samples",
+      "streams", "seed", "pm", "prs", "cv", "pitch-mean", "scenario", "prm",
+      "noise-fails", "length-mean-um", "length-cv", "length-devices",
+      "selectivity", "prm-target"}},
     {"scaling", {"relaxation"}},
     {"table1", {}},
     {"table2", {}},
@@ -646,6 +801,7 @@ int main(int argc, char** argv) {
     if (cmd == "flow") return cmd_flow(cli);
     if (cmd == "batch") return cmd_batch(cli);
     if (cmd == "scenarios") return cmd_scenarios(cli);
+    if (cmd == "campaign") return cmd_campaign(cli);
     if (cmd == "align") return cmd_align(cli);
     if (cmd == "gen-lib") return cmd_gen_lib(cli);
     if (cmd == "gen-design") return cmd_gen_design(cli);
