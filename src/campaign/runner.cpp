@@ -1,11 +1,14 @@
 #include "campaign/runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <future>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "exec/thread_pool.h"
@@ -69,24 +72,95 @@ void evaluate_group_direct(const std::vector<const CompiledPoint*>& chunk,
   });
 }
 
+/// Classifies one response for the via-service path. A terminal outcome
+/// fills `out` and returns true; a transient one (retry-safe: transient
+/// error code, or a dropped/undecodable/corrupt response) fills `code` /
+/// `message` and returns false — it must never reach the store.
+bool classify_response(std::string bytes, Outcome& out, std::string& code,
+                       std::string& message) {
+  if (bytes.empty()) {
+    // The fault harness models a dropped connection as an empty response.
+    code = "transport";
+    message = "connection dropped before the response arrived";
+    return false;
+  }
+  service::Frame frame;
+  try {
+    frame = service::decode_frame(bytes);
+  } catch (const service::ProtocolError& e) {
+    code = "transport";
+    message = std::string("undecodable response: ") + e.what();
+    return false;
+  }
+  if (frame.type == service::FrameType::FlowResponse) {
+    try {
+      (void)service::flow_result_from_json(service::Json::parse(frame.payload));
+    } catch (const std::exception& e) {
+      code = "transport";
+      message = std::string("corrupt response payload: ") + e.what();
+      return false;
+    }
+    out = {std::move(frame.payload), "", ""};
+    return true;
+  }
+  const service::ServiceErrorInfo error =
+      service::error_from_payload(frame.payload);
+  if (service::is_transient_error(error.code)) {
+    code = error.code;
+    message = error.message;
+    return false;
+  }
+  out = {"", error.code, error.message};
+  return true;
+}
+
 void evaluate_chunk_service(const std::vector<const CompiledPoint*>& chunk,
                             std::vector<Outcome>& outcomes,
-                            service::YieldServer& server) {
-  std::vector<std::future<std::string>> futures;
-  futures.reserve(chunk.size());
-  for (const CompiledPoint* point : chunk) {
-    futures.push_back(
-        server.submit(service::encode_flow_request(point->request)));
-  }
-  for (std::size_t i = 0; i < chunk.size(); ++i) {
-    const service::Frame frame = service::decode_frame(futures[i].get());
-    if (frame.type == service::FrameType::FlowResponse) {
-      outcomes[i] = {frame.payload, "", ""};
-    } else {
-      const service::ServiceErrorInfo error =
-          service::error_from_payload(frame.payload);
-      outcomes[i] = {"", error.code, error.message};
+                            service::YieldServer& server,
+                            const service::RetryPolicy& retry) {
+  // Round-based retry: every unresolved point is submitted together (so
+  // the server still coalesces the chunk into batches), the transient
+  // failures go again next round after one backoff sleep. Retrying is
+  // safe — the service is deterministic and side-effect-free — and a
+  // point retried through a FaultPlan with period >= 2 lands on a fresh
+  // ordinal, so it is never re-faulted round after round.
+  std::vector<std::size_t> open(chunk.size());
+  std::iota(open.begin(), open.end(), std::size_t{0});
+  const unsigned max_attempts = std::max(1u, retry.max_attempts);
+  std::string last_code;
+  std::string last_message;
+  for (unsigned attempt = 1; !open.empty(); ++attempt) {
+    std::vector<std::future<std::string>> futures;
+    futures.reserve(open.size());
+    for (const std::size_t index : open) {
+      futures.push_back(
+          server.submit(service::encode_flow_request(chunk[index]->request)));
     }
+    std::vector<std::size_t> still_open;
+    for (std::size_t k = 0; k < open.size(); ++k) {
+      const std::size_t index = open[k];
+      std::string code;
+      std::string message;
+      if (!classify_response(futures[k].get(), outcomes[index], code,
+                             message)) {
+        still_open.push_back(index);
+        last_code = std::move(code);
+        last_message = std::move(message);
+      }
+    }
+    open = std::move(still_open);
+    if (open.empty()) break;
+    if (attempt >= max_attempts) {
+      // Exhausted: fail the run rather than record a transient outcome —
+      // the store must only ever hold results and *terminal* errors.
+      throw service::ServiceError(
+          last_code, std::to_string(open.size()) +
+                         " point(s) still failing after " +
+                         std::to_string(max_attempts) +
+                         " attempt(s); last failure: " + last_message);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retry.backoff_ms(attempt)));
   }
 }
 
@@ -115,6 +189,7 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
       server_options.n_threads = options.n_threads;
       server_options.cache_capacity = options.cache_capacity;
       server_options.interpolant_knots = options.interpolant_knots;
+      server_options.fault_plan = options.fault_plan;
       server = std::make_unique<service::YieldServer>(server_options);
       server->start();
     } else {
@@ -138,7 +213,7 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
         pending.begin() + static_cast<std::ptrdiff_t>(done + n));
     std::vector<Outcome> outcomes(chunk.size());
     if (server != nullptr) {
-      evaluate_chunk_service(chunk, outcomes, *server);
+      evaluate_chunk_service(chunk, outcomes, *server, options.retry);
     } else {
       // Group by session key so each warm corner is evaluated once per
       // chunk; std::map iteration keeps the group order deterministic.

@@ -22,14 +22,26 @@
 // skipped (counted in CampaignStats::skipped), so re-running a finished
 // campaign performs zero flow evaluations. Error records are deterministic
 // outcomes and are *not* retried.
+//
+// Transient failures are the opposite: on the via-service path a point
+// that comes back with a transient code (protocol.h is_transient_error) or
+// an unusable response (dropped / truncated / corrupt — the fault
+// harness's repertoire) is *never* written to the store. It is resubmitted
+// in the next retry round (RunnerOptions::retry), and if the budget runs
+// out the whole run throws — so a store produced through a fault-injecting
+// server is byte-identical to a fault-free run or absent, never subtly
+// poisoned (pinned in tests/test_campaign.cpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "campaign/spec.h"
 #include "campaign/store.h"
+#include "service/client.h"
+#include "service/faults.h"
 
 namespace cny::campaign {
 
@@ -52,6 +64,16 @@ struct RunnerOptions {
   /// Invoked after every chunk with (points done this run, points pending
   /// at start); for CLI progress lines.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Retry budget for transient via-service failures (max_attempts,
+  /// backoff, jitter — deadline_ms is not consulted here; a campaign has
+  /// no latency SLO). Exhausting it throws ServiceError rather than
+  /// recording a transient outcome. Ignored on the direct path, which has
+  /// no wire to fail.
+  service::RetryPolicy retry;
+  /// Fault plan wired into the loopback server (via_service only): the
+  /// chaos campaign in CI runs the real store path through injected
+  /// drops/delays/rejects. Null = clean server.
+  std::shared_ptr<service::FaultPlan> fault_plan;
 };
 
 struct CampaignStats {

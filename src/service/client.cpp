@@ -7,11 +7,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "rng/engine.h"
 #include "service/server.h"
 
 namespace cny::service {
@@ -24,20 +28,39 @@ namespace {
 
 }  // namespace
 
+unsigned RetryPolicy::backoff_ms(unsigned attempt) const {
+  const double capped =
+      std::min(static_cast<double>(backoff_base_ms) *
+                   std::pow(backoff_multiplier,
+                            static_cast<double>(attempt > 0 ? attempt - 1 : 0)),
+               static_cast<double>(backoff_max_ms));
+  // Jitter in [0.5, 1.0), a pure function of (seed, attempt): replayable
+  // within one client, decorrelated across seeds.
+  std::uint64_t state = jitter_seed ^ (0x9e3779b97f4a7c15ULL * (attempt + 1));
+  const double unit =
+      static_cast<double>(rng::splitmix64(state) >> 11) * 0x1.0p-53;
+  const double jittered = capped * (0.5 + 0.5 * unit);
+  return std::max(1u, static_cast<unsigned>(std::lround(jittered)));
+}
+
 YieldClient::YieldClient(YieldServer& server) : loopback_(&server) {}
 
 YieldClient::YieldClient(const std::string& host, std::uint16_t port,
                          unsigned timeout_ms)
-    : timeout_ms_(timeout_ms) {
+    : timeout_ms_(timeout_ms), host_(host), port_(port) {
+  connect_tcp();
+}
+
+void YieldClient::connect_tcp() {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* found = nullptr;
   const int rc =
-      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+      ::getaddrinfo(host_.c_str(), std::to_string(port_).c_str(), &hints,
                     &found);
   if (rc != 0 || found == nullptr) {
-    transport_fail("cannot resolve " + host + ": " + ::gai_strerror(rc));
+    transport_fail("cannot resolve " + host_ + ": " + ::gai_strerror(rc));
   }
   fd_ = ::socket(found->ai_family, found->ai_socktype | SOCK_CLOEXEC,
                  found->ai_protocol);
@@ -46,8 +69,8 @@ YieldClient::YieldClient(const std::string& host, std::uint16_t port,
     transport_fail(std::string("socket: ") + std::strerror(errno));
   }
   if (::connect(fd_, found->ai_addr, found->ai_addrlen) < 0) {
-    const std::string what = std::string("connect ") + host + ":" +
-                             std::to_string(port) + ": " +
+    const std::string what = std::string("connect ") + host_ + ":" +
+                             std::to_string(port_) + ": " +
                              std::strerror(errno);
     ::freeaddrinfo(found);
     ::close(fd_);
@@ -63,7 +86,8 @@ YieldClient::~YieldClient() {
 
 YieldClient::YieldClient(YieldClient&& other) noexcept
     : loopback_(other.loopback_), fd_(other.fd_),
-      timeout_ms_(other.timeout_ms_) {
+      timeout_ms_(other.timeout_ms_), host_(std::move(other.host_)),
+      port_(other.port_), retry_(other.retry_) {
   other.loopback_ = nullptr;
   other.fd_ = -1;
 }
@@ -71,6 +95,9 @@ YieldClient::YieldClient(YieldClient&& other) noexcept
 std::string YieldClient::roundtrip(std::string frame) {
   if (loopback_ != nullptr) return loopback_->submit(std::move(frame)).get();
 
+  // A broken TCP connection reconnects lazily, so a retry after a dropped
+  // connection gets a fresh one instead of a guaranteed send failure.
+  if (fd_ < 0 && !host_.empty()) connect_tcp();
   if (fd_ < 0) transport_fail("client connection is closed");
   std::size_t sent = 0;
   while (sent < frame.size()) {
@@ -110,12 +137,68 @@ std::string YieldClient::roundtrip(std::string frame) {
   return response;
 }
 
-yield::FlowResult YieldClient::call(const FlowRequest& request) {
-  const Frame response = decode_frame(roundtrip(encode_flow_request(request)));
-  if (response.type == FrameType::Error) {
-    const auto info = error_from_payload(response.payload);
-    throw ServiceError(info.code, info.message);
+Frame YieldClient::exchange(const std::string& frame) {
+  std::string response = roundtrip(frame);
+  if (response.empty()) {
+    // The loopback fault harness models a dropped connection as an empty
+    // response; a real socket drop already failed inside roundtrip().
+    transport_fail("connection dropped before the response arrived");
   }
+  try {
+    return decode_frame(response);
+  } catch (const ProtocolError& e) {
+    // Truncated or mangled bytes: the wire failed, not the request.
+    transport_fail(std::string("undecodable response: ") + e.what());
+  }
+}
+
+Frame YieldClient::request_reply(const std::string& frame,
+                                 bool check_payload) {
+  using clock = std::chrono::steady_clock;
+  const unsigned max_attempts = std::max(1u, retry_.max_attempts);
+  const auto deadline =
+      clock::now() + std::chrono::milliseconds(
+                         retry_.deadline_ms > 0 ? retry_.deadline_ms
+                                                : std::uint64_t{0});
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      Frame response = exchange(frame);
+      if (response.type == FrameType::Error) {
+        const auto info = error_from_payload(response.payload);
+        throw ServiceError(info.code, info.message);
+      }
+      if (check_payload && response.type == FrameType::FlowResponse) {
+        try {
+          (void)flow_result_from_json(Json::parse(response.payload));
+        } catch (const std::exception& e) {
+          // A response that arrived but does not decode was corrupted in
+          // flight — a transport failure, retried like one.
+          transport_fail(std::string("corrupt response payload: ") +
+                         e.what());
+        }
+      }
+      return response;
+    } catch (const ServiceError& e) {
+      if (!e.transient() || attempt >= max_attempts) throw;
+      const unsigned backoff = retry_.backoff_ms(attempt);
+      if (retry_.deadline_ms > 0 &&
+          clock::now() + std::chrono::milliseconds(backoff) >= deadline) {
+        throw;  // the budget is spent; surface the last transient error
+      }
+      if (fd_ >= 0 && e.code() == "transport") {
+        // The stream state is unknowable after a transport error; start
+        // the next attempt on a fresh connection.
+        ::close(fd_);
+        fd_ = -1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+  }
+}
+
+yield::FlowResult YieldClient::call(const FlowRequest& request) {
+  const Frame response =
+      request_reply(encode_flow_request(request), /*check_payload=*/true);
   if (response.type != FrameType::FlowResponse) {
     throw ServiceError("unexpected_frame",
                        "server answered with frame type " +
@@ -127,7 +210,8 @@ yield::FlowResult YieldClient::call(const FlowRequest& request) {
 
 std::string YieldClient::ping() {
   const Frame response =
-      decode_frame(roundtrip(encode_frame(FrameType::Ping, "{}")));
+      request_reply(encode_frame(FrameType::Ping, "{}"),
+                    /*check_payload=*/false);
   if (response.type != FrameType::Pong) {
     throw ServiceError("unexpected_frame", "ping was not answered with pong");
   }

@@ -182,6 +182,11 @@ Json to_json(const FlowRequest& request) {
   v.set("design_instances", Json::number(request.design_instances));
   v.set("process", to_json(request.process));
   v.set("params", to_json(request.params));
+  // Omitted when absent, keeping deadline-less payloads byte-identical to
+  // their 0.2.0 form (and campaign request keys stable across the bump).
+  if (request.deadline_ms > 0) {
+    v.set("deadline_ms", Json::number(request.deadline_ms));
+  }
   return v;
 }
 
@@ -253,6 +258,9 @@ FlowRequest flow_request_from_json(const Json& v) {
     request.design_instances = get_u64(v, "design_instances");
     request.process = process_from_json(v.at("process"));
     request.params = flow_params_from_json(v.at("params"));
+    if (const Json* d = v.find("deadline_ms")) {
+      request.deadline_ms = d->as_u64();
+    }
     return request;
   } catch (const JsonError& e) {
     fail(e.what());
@@ -337,6 +345,12 @@ ServiceErrorInfo error_from_payload(std::string_view payload) {
   }
 }
 
+bool is_transient_error(std::string_view code) {
+  return code == "transport" || code == "server_overloaded" ||
+         code == "try_later" || code == "shutting_down" ||
+         code == "deadline_exceeded";
+}
+
 void validate(const FlowRequest& request) {
   const auto check = [](bool ok, const char* what) {
     if (!ok) fail(std::string("invalid request: ") + what);
@@ -353,6 +367,8 @@ void validate(const FlowRequest& request) {
         "p_metallic must be in [0, 1)");
   check(p.p_remove_s >= 0.0 && p.p_remove_s < 1.0,
         "p_remove_s must be in [0, 1)");
+  check(request.deadline_ms <= 86'400'000,
+        "deadline_ms must be <= 86400000 (one day; 0 = no deadline)");
   // A CNT that can never fail makes p_F identically 0 and W_min undefined.
   check(p.p_metallic + (1.0 - p.p_metallic) * p.p_remove_s > 0.0,
         "process has zero per-CNT failure probability");

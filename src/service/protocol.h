@@ -27,6 +27,16 @@
 // FlowResult echoes the spec plus per-mechanism columns. Both sides omit
 // every scenario key when the spec is empty, so an open-only exchange is
 // byte-identical to a v1 payload — only the header version differs.
+//
+// Protocol v3 (0.3.0) adds failure semantics: a FlowRequest may carry an
+// optional "deadline_ms" field (a relative deadline from server receipt;
+// work already past it is shed with a `deadline_exceeded` error frame
+// before evaluation), and error codes are partitioned into *transient*
+// (safe to retry: the request was not evaluated, or the condition is
+// load-dependent — see is_transient_error) and *terminal* (retrying cannot
+// help; deterministic outcomes). The field is omitted when absent, so a
+// deadline-less request payload is byte-identical to its 0.2.0 form —
+// only the header version differs (pinned in tests).
 #pragma once
 
 #include <cstdint>
@@ -42,9 +52,10 @@ namespace cny::service {
 /// The single version constant for the whole front end: the wire header
 /// carries kProtocolVersion and `cntyield_cli --version` prints both.
 /// v2: scenario fields (ShortFailure / FiniteLength / RemovalFrontier).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: optional per-request deadline + transient/terminal error taxonomy.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 /// Human-readable release string the protocol version ships in.
-inline constexpr const char kVersionString[] = "0.2.0";
+inline constexpr const char kVersionString[] = "0.3.0";
 
 /// A frame violating the wire format (bad magic/version/type, oversized or
 /// truncated payload, payload that is not valid JSON of the right shape, or
@@ -106,6 +117,11 @@ struct FlowRequest {
   /// Only the determinism-relevant subset crosses the wire (see file
   /// comment); the rest keeps its FlowParams default.
   yield::FlowParams params;
+  /// Relative deadline in ms from server receipt; work already past it is
+  /// shed with `deadline_exceeded` before evaluation. 0 = no deadline —
+  /// the field is omitted from the wire, keeping the payload byte-
+  /// identical to its 0.2.0 form.
+  std::uint64_t deadline_ms = 0;
 };
 
 struct ServiceErrorInfo {
@@ -138,5 +154,19 @@ struct ServiceErrorInfo {
 /// known library, ...) so one bad request fails alone with a useful message
 /// instead of poisoning the coalesced batch it would have joined.
 void validate(const FlowRequest& request);
+
+/// The error-code taxonomy (docs/architecture.md "Failure semantics").
+/// Transient codes mean the request was *not* evaluated (or the condition
+/// is load-dependent) and retrying the identical request is safe and may
+/// succeed: "transport" (the client-side catch-all for connection refused /
+/// reset / timeout / unparseable response), "server_overloaded" (admission
+/// queue full), "try_later" (injected transient reject), "shutting_down"
+/// (drain/stop refused the frame), "deadline_exceeded" (shed unevaluated).
+/// Every other code — bad_frame, bad_request, unexpected_frame,
+/// evaluation_failed, internal_error, malformed_error — is terminal: a
+/// deterministic outcome a retry would only repeat. Retry policies
+/// (client.h, campaign/runner.h) must consult this one predicate so the
+/// store's "error records are terminal" invariant has a single definition.
+[[nodiscard]] bool is_transient_error(std::string_view code);
 
 }  // namespace cny::service

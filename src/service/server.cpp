@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -31,13 +32,6 @@ namespace {
 /// Long waits are sliced so stop() is honoured within one slice.
 constexpr int kPollSliceMs = 200;
 
-std::string pong_payload() {
-  Json v = Json::object();
-  v.set("version", Json::string(kVersionString));
-  v.set("protocol", Json::number(std::uint64_t{kProtocolVersion}));
-  return v.dump();
-}
-
 std::future<std::string> ready_future(std::string frame) {
   std::promise<std::string> promise;
   promise.set_value(std::move(frame));
@@ -57,6 +51,9 @@ struct YieldServer::Impl {
   struct Pending {
     FlowRequest request;
     std::promise<std::string> promise;
+    /// When the request was admitted — the reference point its optional
+    /// relative deadline is measured from.
+    std::chrono::steady_clock::time_point arrival;
   };
 
   std::mutex queue_mutex;
@@ -65,6 +62,13 @@ struct YieldServer::Impl {
   /// Written only under queue_mutex (so enqueue-after-drain is impossible);
   /// read lock-free by the I/O loops as their exit signal.
   std::atomic<bool> stop_flag{false};
+  /// Graceful-drain mode: new FlowRequests are refused with
+  /// `shutting_down`, queued ones still run. Written under queue_mutex.
+  std::atomic<bool> draining{false};
+  /// True while the dispatcher owns a popped batch (guarded by
+  /// queue_mutex); drain() waits for queue empty *and* !in_flight.
+  bool in_flight = false;
+  std::condition_variable drained_cv;
   bool started = false;
   bool stopped = false;
 
@@ -84,6 +88,40 @@ struct YieldServer::Impl {
   void bump(std::uint64_t ServerStats::* counter, std::uint64_t by = 1) {
     const std::lock_guard<std::mutex> lock(stats_mutex);
     stats.*counter += by;
+  }
+
+  ServerStats stats_snapshot() const {
+    ServerStats out;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      out = stats;
+    }
+    out.sessions_built = cache.sessions_built();
+    return out;
+  }
+
+  /// Pong payload: version, protocol, and a live counters snapshot — the
+  /// `--ping` health probe doubles as the stats endpoint, so an operator
+  /// can watch overload_rejects / deadline_sheds / faults_injected move
+  /// without a second wire format.
+  std::string pong_payload() const {
+    const ServerStats s = stats_snapshot();
+    Json v = Json::object();
+    v.set("version", Json::string(kVersionString));
+    v.set("protocol", Json::number(std::uint64_t{kProtocolVersion}));
+    Json counters = Json::object();
+    counters.set("frames_in", Json::number(s.frames_in));
+    counters.set("responses", Json::number(s.responses));
+    counters.set("errors", Json::number(s.errors));
+    counters.set("batches", Json::number(s.batches));
+    counters.set("batched_requests", Json::number(s.batched_requests));
+    counters.set("sessions_built", Json::number(s.sessions_built));
+    counters.set("connections", Json::number(s.connections));
+    counters.set("overload_rejects", Json::number(s.overload_rejects));
+    counters.set("deadline_sheds", Json::number(s.deadline_sheds));
+    counters.set("faults_injected", Json::number(s.faults_injected));
+    v.set("stats", std::move(counters));
+    return v.dump();
   }
 
   std::future<std::string> error_now(std::string_view code,
@@ -115,8 +153,14 @@ struct YieldServer::Impl {
           batch.push_back(std::move(queue.front()));
           queue.pop_front();
         }
+        in_flight = !batch.empty();
       }
       if (!batch.empty()) process_batch(batch);
+      {
+        const std::lock_guard<std::mutex> lock(queue_mutex);
+        in_flight = false;
+      }
+      drained_cv.notify_all();
     }
   }
 
@@ -128,7 +172,34 @@ struct YieldServer::Impl {
   /// per job: an infeasible scenario gets its own error frame while the
   /// rest of the group keeps its results.
   void evaluate_group(std::vector<Pending>& batch,
-                      const std::vector<std::size_t>& indices) {
+                      const std::vector<std::size_t>& all_indices) {
+    // Deadline shed, *before* any session or evaluation work: a request
+    // whose relative deadline already passed while it sat in the queue is
+    // answered with the transient `deadline_exceeded` — the client knows
+    // the work was never evaluated, so retrying (with slack) is safe, and
+    // the server never burns MC samples nobody is waiting for.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::size_t> indices;
+    indices.reserve(all_indices.size());
+    for (const std::size_t index : all_indices) {
+      Pending& pending = batch[index];
+      const std::uint64_t deadline = pending.request.deadline_ms;
+      if (deadline > 0 &&
+          now >= pending.arrival + std::chrono::milliseconds(deadline)) {
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex);
+          stats.errors += 1;
+          stats.deadline_sheds += 1;
+        }
+        pending.promise.set_value(encode_error(
+            "deadline_exceeded",
+            "deadline of " + std::to_string(deadline) +
+                " ms passed before evaluation; request shed unevaluated"));
+      } else {
+        indices.push_back(index);
+      }
+    }
+    if (indices.empty()) return;
     std::shared_ptr<const Session> session;
     try {
       session = cache.acquire(session_key(batch[indices.front()].request));
@@ -269,8 +340,36 @@ struct YieldServer::Impl {
           !read_full(fd, frame.data() + kHeaderBytes, header.payload_size)) {
         break;  // truncated mid-frame
       }
+      // Fault injection, at the same boundary a real network failure
+      // lives: after the request is fully read, before/around the write.
+      std::optional<FaultSpec> fault;
+      if (options.fault_plan && header.type == FrameType::FlowRequest) {
+        fault = options.fault_plan->next();
+      }
+      if (fault) {
+        bump(&ServerStats::faults_injected);
+        if (fault->kind == FaultKind::DropBeforeResponse) break;
+        if (fault->kind == FaultKind::TransientReject) {
+          bump(&ServerStats::errors);
+          if (!write_all(fd, encode_error(fault->error_code,
+                                          "injected transient fault"))) {
+            break;
+          }
+          continue;  // the connection survives a transient reject
+        }
+      }
       std::string response = submit_frame(std::move(frame)).get();
+      if (fault) {
+        if (fault->kind == FaultKind::DropAfterResponse) break;
+        apply_response_fault(*fault, response);
+      }
       if (!write_all(fd, response)) break;
+      // Truncation and slow-loris leave the stream unframeable; close so
+      // the client sees EOF instead of waiting out its timeout.
+      if (fault && (fault->kind == FaultKind::TruncateResponse ||
+                    fault->kind == FaultKind::SlowLorisResponse)) {
+        break;
+      }
       if (header.type == FrameType::Shutdown) break;
     }
     ::close(fd);
@@ -312,11 +411,24 @@ struct YieldServer::Impl {
     std::future<std::string> future;
     {
       const std::lock_guard<std::mutex> lock(queue_mutex);
-      if (stop_flag.load(std::memory_order_relaxed)) {
-        return error_now("shutting_down", "server is stopping");
+      if (stop_flag.load(std::memory_order_relaxed) ||
+          draining.load(std::memory_order_relaxed)) {
+        return error_now("shutting_down",
+                         "server is draining; the request was not queued");
+      }
+      if (queue.size() >= options.max_queue) {
+        // Bounded admission: reject *now* with a transient code rather
+        // than queueing without bound. The caller's retry policy backs
+        // off and resubmits; server memory stays bounded under overload.
+        bump(&ServerStats::overload_rejects);
+        return error_now("server_overloaded",
+                         "admission queue is full (" +
+                             std::to_string(options.max_queue) +
+                             " pending); retry with backoff");
       }
       Pending pending;
       pending.request = std::move(request);
+      pending.arrival = std::chrono::steady_clock::now();
       future = pending.promise.get_future();
       queue.push_back(std::move(pending));
     }
@@ -335,6 +447,10 @@ void YieldServer::start() {
   CNY_EXPECT_MSG(!impl.started, "YieldServer::start() called twice");
   impl.started = true;
   if (impl.options.listen) {
+    // Every send already passes MSG_NOSIGNAL, but a library the server
+    // links could write to a dead pipe too — a peer dying mid-frame must
+    // never take the process down (regression-tested in test_service).
+    std::signal(SIGPIPE, SIG_IGN);
     const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) {
       throw ServiceSetupError(std::string("socket: ") + std::strerror(errno));
@@ -377,6 +493,7 @@ void YieldServer::stop() {
   }
   impl.queue_cv.notify_all();
   impl.shutdown_cv.notify_all();
+  impl.drained_cv.notify_all();
   if (impl.dispatcher.joinable()) impl.dispatcher.join();
   // The dispatcher is gone and stop_flag is up (under queue_mutex), so no
   // request can be enqueued after this drain — every pending future
@@ -398,11 +515,71 @@ void YieldServer::stop() {
   }
 }
 
+void YieldServer::drain() {
+  Impl& impl = *impl_;
+  if (!impl.started || impl.stopped) return;
+  {
+    std::unique_lock<std::mutex> lock(impl.queue_mutex);
+    // Under queue_mutex, so no FlowRequest can slip past the draining
+    // check in submit_frame and enqueue after this point.
+    impl.draining.store(true, std::memory_order_relaxed);
+    impl.drained_cv.wait(lock, [&] {
+      return (impl.queue.empty() && !impl.in_flight) ||
+             impl.stop_flag.load(std::memory_order_relaxed);
+    });
+  }
+  stop();
+}
+
 std::uint16_t YieldServer::port() const { return impl_->bound_port; }
 
 std::future<std::string> YieldServer::submit(std::string frame) {
-  CNY_EXPECT_MSG(impl_->started, "submit() before start()");
-  return impl_->submit_frame(std::move(frame));
+  Impl& impl = *impl_;
+  CNY_EXPECT_MSG(impl.started, "submit() before start()");
+  // Loopback fault injection: the same plan the TCP path consults, with
+  // the socket-level outcome mapped onto the response string — a dropped
+  // connection becomes the empty string (the client treats it as a
+  // transport failure), truncation/corruption/delay mutate the bytes.
+  std::optional<FaultSpec> fault;
+  if (impl.options.fault_plan && frame.size() >= kHeaderBytes) {
+    try {
+      const FrameHeader header =
+          decode_header(std::string_view(frame).substr(0, kHeaderBytes));
+      if (header.type == FrameType::FlowRequest) {
+        fault = impl.options.fault_plan->next();
+      }
+    } catch (const ProtocolError&) {
+      // A malformed header takes the normal bad_frame path below.
+    }
+  }
+  if (!fault) return impl.submit_frame(std::move(frame));
+  impl.bump(&ServerStats::faults_injected);
+  switch (fault->kind) {
+    case FaultKind::DropBeforeResponse:
+      return ready_future(std::string());
+    case FaultKind::TransientReject:
+      impl.bump(&ServerStats::errors);
+      return ready_future(
+          encode_error(fault->error_code, "injected transient fault"));
+    case FaultKind::DropAfterResponse: {
+      // Evaluate (the server did the work), then "lose" the response.
+      auto inner = impl.submit_frame(std::move(frame));
+      return std::async(std::launch::deferred,
+                        [inner = std::move(inner)]() mutable {
+                          inner.get();
+                          return std::string();
+                        });
+    }
+    default: {
+      auto inner = impl.submit_frame(std::move(frame));
+      return std::async(std::launch::deferred,
+                        [inner = std::move(inner), spec = *fault]() mutable {
+                          std::string response = inner.get();
+                          apply_response_fault(spec, response);
+                          return response;
+                        });
+    }
+  }
 }
 
 void YieldServer::wait_shutdown() {
@@ -414,15 +591,16 @@ void YieldServer::wait_shutdown() {
   });
 }
 
-ServerStats YieldServer::stats() const {
+bool YieldServer::wait_shutdown_for(unsigned timeout_ms) {
   Impl& impl = *impl_;
-  ServerStats out;
-  {
-    const std::lock_guard<std::mutex> lock(impl.stats_mutex);
-    out = impl.stats;
-  }
-  out.sessions_built = impl.cache.sessions_built();
-  return out;
+  std::unique_lock<std::mutex> lock(impl.shutdown_mutex);
+  return impl.shutdown_cv.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        return impl.shutdown_requested ||
+               impl.stop_flag.load(std::memory_order_relaxed);
+      });
 }
+
+ServerStats YieldServer::stats() const { return impl_->stats_snapshot(); }
 
 }  // namespace cny::service

@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "service/faults.h"
 #include "service/protocol.h"
 #include "service/session_cache.h"
 
@@ -54,8 +55,18 @@ struct ServerOptions {
   std::size_t cache_capacity = 4;
   /// Knots of each session's log-p_F interpolant.
   std::size_t interpolant_knots = 65;
-  /// A TCP connection idle longer than this is closed.
+  /// A TCP connection idle longer than this is closed. Also the bound on
+  /// how long a slow-loris peer (partial header, then silence) can hold a
+  /// connection handler.
   unsigned idle_timeout_ms = 30000;
+  /// Admission bound: FlowRequests beyond this many already queued are
+  /// answered with a transient `server_overloaded` error frame instead of
+  /// queueing without bound (the client's retry policy backs off and tries
+  /// again; memory stays bounded under overload).
+  std::size_t max_queue = 1024;
+  /// Deterministic fault-injection plan (faults.h); null = never inject.
+  /// Applied at the transport boundary of both the TCP and loopback paths.
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
 struct ServerStats {
@@ -66,6 +77,9 @@ struct ServerStats {
   std::uint64_t batched_requests = 0;  ///< requests across those batches
   std::uint64_t sessions_built = 0;    ///< session-cache misses
   std::uint64_t connections = 0;       ///< TCP connections accepted
+  std::uint64_t overload_rejects = 0;  ///< admission-queue rejections
+  std::uint64_t deadline_sheds = 0;    ///< shed past-deadline, unevaluated
+  std::uint64_t faults_injected = 0;   ///< fault-plan injections applied
 };
 
 class YieldServer {
@@ -82,6 +96,14 @@ class YieldServer {
   /// Idempotent; the destructor calls it.
   void stop();
 
+  /// Graceful drain: immediately refuses *new* FlowRequests with a
+  /// `shutting_down` error frame, waits for every already-queued request
+  /// and the in-flight batch to finish (their clients get real
+  /// responses), then stop()s. What `cntyield_cli serve` runs on
+  /// SIGTERM and on a Shutdown frame — an in-flight batch is never torn
+  /// down mid-evaluation.
+  void drain();
+
   /// The bound TCP port (listen mode, after start()).
   [[nodiscard]] std::uint16_t port() const;
 
@@ -92,6 +114,11 @@ class YieldServer {
 
   /// Blocks until a Shutdown frame arrives or stop() is called.
   void wait_shutdown();
+
+  /// Bounded wait_shutdown: true once a Shutdown frame arrived or stop()
+  /// was called, false on timeout. Lets a front end interleave the wait
+  /// with its own signal polling (the CLI's SIGTERM graceful drain).
+  [[nodiscard]] bool wait_shutdown_for(unsigned timeout_ms);
 
   [[nodiscard]] ServerStats stats() const;
 

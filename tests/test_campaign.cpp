@@ -634,4 +634,65 @@ TEST(CampaignRunner, ViaServiceStoreIsByteIdenticalToDirect) {
   }
 }
 
+// The chaos acceptance test: a campaign through a fault-injecting server —
+// every fault kind in rotation — lands the byte-identical store a clean
+// server produces. Transient failures are retried, never recorded.
+TEST(CampaignRunner, ChaosCampaignStoreIsByteIdenticalToFaultFree) {
+  CampaignSpec spec = cheap_campaign();
+  spec.axes[0].values = "1:1:8";  // a few batches' worth of points
+  const auto points = campaign::compile(spec);
+
+  ResultStore clean;
+  auto options = cheap_options();
+  options.via_service = true;
+  options.checkpoint_every = 4;
+  (void)campaign::run_campaign(points, clean, options);
+
+  ResultStore chaotic;
+  service::FaultPlanOptions faults;
+  faults.seed = 11;
+  faults.period = 2;  // a retried frame is never immediately re-faulted
+  faults.faults = service::fault_specs_from_names(
+      "drop,truncate,corrupt,reject,delay,drop-after,slowloris");
+  options.fault_plan = std::make_shared<service::FaultPlan>(faults);
+  options.retry.max_attempts = 6;
+  options.retry.backoff_base_ms = 1;
+  const auto stats = campaign::run_campaign(points, chaotic, options);
+
+  EXPECT_EQ(stats.evaluated, points.size());
+  ASSERT_EQ(clean.size(), chaotic.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(clean.records()[i].line(), chaotic.records()[i].line()) << i;
+  }
+  // No transient code may ever appear as a record.
+  for (const auto& record : chaotic.records()) {
+    EXPECT_FALSE(service::is_transient_error(record.error_code))
+        << record.error_code;
+  }
+}
+
+TEST(CampaignRunner, RetryExhaustionThrowsAndNeverPoisonsTheStore) {
+  const auto points = campaign::compile(cheap_campaign());
+  ResultStore store;
+  auto options = cheap_options();
+  options.via_service = true;
+  service::FaultPlanOptions faults;
+  faults.seed = 1;
+  faults.period = 1;  // reject every frame: no retry budget can win
+  faults.faults = service::fault_specs_from_names("reject");
+  options.fault_plan = std::make_shared<service::FaultPlan>(faults);
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base_ms = 1;
+  try {
+    (void)campaign::run_campaign(points, store, options);
+    FAIL() << "an always-rejecting server must exhaust the retry budget";
+  } catch (const service::ServiceError& e) {
+    EXPECT_EQ(e.code(), "try_later");
+    EXPECT_TRUE(e.transient());
+  }
+  // The failed chunk was never checkpointed: transient outcomes must not
+  // masquerade as terminal error records.
+  EXPECT_EQ(store.size(), 0u);
+}
+
 }  // namespace

@@ -10,8 +10,20 @@
 //     byte-identical;
 //   * the session cache actually shares one warm FailureModel across
 //     clients (and LRU-evicts past capacity).
+//   * failure semantics (protocol v3): deadlines shed unevaluated work,
+//     the admission queue rejects overload with a transient code, drain
+//     finishes queued work while refusing new frames, the fault-injection
+//     harness is deterministic, and the retrying client turns every
+//     injected wire failure back into byte-identical results.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <future>
 #include <string>
 #include <thread>
@@ -22,6 +34,7 @@
 #include "device/failure_model.h"
 #include "netlist/design_generator.h"
 #include "service/client.h"
+#include "service/faults.h"
 #include "service/json.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -552,6 +565,395 @@ TEST(ServiceServer, TcpEndToEndOnEphemeralPort) {
   service::YieldClient closer("127.0.0.1", server.port());
   closer.shutdown_server();
   server.wait_shutdown();
+  server.stop();
+}
+
+// --- failure semantics (protocol v3) ---------------------------------------
+
+TEST(ServiceProtocol, DeadlineOmittedWhenZeroKeepsPayloadByteIdentical) {
+  // The 0.2.0 back-compat pin: a deadline-less request payload must carry
+  // no deadline key at all, so its bytes are identical to the pre-v3 form.
+  FlowRequest request = small_request(1, 0.9);
+  const std::string legacy = service::to_json(request).dump();
+  EXPECT_EQ(legacy.find("deadline_ms"), std::string::npos);
+
+  request.deadline_ms = 250;
+  const std::string once = service::to_json(request).dump();
+  EXPECT_NE(once.find("\"deadline_ms\":250"), std::string::npos);
+  const auto back = service::flow_request_from_json(Json::parse(once));
+  EXPECT_EQ(back.deadline_ms, 250u);
+  EXPECT_EQ(service::to_json(back).dump(), once);
+  // Stripping the deadline restores the legacy bytes exactly.
+  auto stripped = back;
+  stripped.deadline_ms = 0;
+  EXPECT_EQ(service::to_json(stripped).dump(), legacy);
+
+  auto bad = request;
+  bad.deadline_ms = 86'400'001;
+  EXPECT_THROW(service::validate(bad), service::ProtocolError);
+}
+
+TEST(ServiceProtocol, ErrorTaxonomySplitsTransientFromTerminal) {
+  for (const char* code : {"transport", "server_overloaded", "try_later",
+                           "shutting_down", "deadline_exceeded"}) {
+    EXPECT_TRUE(service::is_transient_error(code)) << code;
+  }
+  for (const char* code :
+       {"bad_frame", "bad_request", "unexpected_frame", "evaluation_failed",
+        "internal_error", "malformed_error", ""}) {
+    EXPECT_FALSE(service::is_transient_error(code)) << code;
+  }
+}
+
+TEST(ServiceFaults, PlanIsDeterministicPeriodicAndCapped) {
+  service::FaultPlanOptions options;
+  options.seed = 7;
+  options.period = 3;
+  options.faults = service::fault_specs_from_names("drop,reject");
+  service::FaultPlan a(options);
+  service::FaultPlan b(options);
+  std::size_t injected = 0;
+  for (int n = 0; n < 12; ++n) {
+    const auto fa = a.next();
+    const auto fb = b.next();
+    ASSERT_EQ(fa.has_value(), fb.has_value()) << "ordinal " << n;
+    if (fa) {
+      EXPECT_EQ(fa->kind, fb->kind) << "ordinal " << n;
+      injected += 1;
+    }
+  }
+  EXPECT_EQ(injected, 4u);  // exactly one per period of 3
+  EXPECT_EQ(a.injected(), 4u);
+
+  // max_faults caps total injections, so a finite retry budget drains any
+  // workload.
+  options.max_faults = 2;
+  service::FaultPlan capped(options);
+  std::size_t capped_count = 0;
+  for (int n = 0; n < 60; ++n) {
+    if (capped.next()) capped_count += 1;
+  }
+  EXPECT_EQ(capped_count, 2u);
+
+  // Defaults never inject; unknown fault names fail loudly.
+  service::FaultPlan off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.next().has_value());
+  EXPECT_THROW(service::fault_specs_from_names("drop,flood"),
+               std::invalid_argument);
+}
+
+TEST(ServiceServer, PongSurfacesStatsCounters) {
+  service::YieldServer server(loopback_options());
+  server.start();
+  service::YieldClient client(server);
+  const std::string pong = client.ping();
+  for (const char* key :
+       {"\"overload_rejects\"", "\"deadline_sheds\"", "\"faults_injected\"",
+        "\"frames_in\"", "\"responses\""}) {
+    EXPECT_NE(pong.find(key), std::string::npos) << key;
+  }
+  server.stop();
+}
+
+// The retry acceptance test: a client with retries pointed at a server
+// that breaks the wire in every supported way still produces results
+// byte-identical to a fault-free server's.
+TEST(ServiceClient, RetriesTurnEveryFaultKindIntoByteIdenticalResults) {
+  std::vector<std::string> clean;
+  {
+    service::YieldServer server(loopback_options());
+    server.start();
+    service::YieldClient client(server);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      clean.push_back(
+          service::to_json(client.call(small_request(seed, 0.9))).dump());
+    }
+    server.stop();
+  }
+
+  auto options = loopback_options();
+  service::FaultPlanOptions faults;
+  faults.seed = 3;
+  faults.period = 2;  // >= 2: an immediate retry is never re-faulted
+  faults.faults = service::fault_specs_from_names(
+      "drop,truncate,corrupt,reject,delay,drop-after,slowloris");
+  options.fault_plan = std::make_shared<service::FaultPlan>(faults);
+  service::YieldServer server(options);
+  server.start();
+  service::YieldClient client(server);
+  service::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_base_ms = 1;
+  client.set_retry_policy(retry);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    EXPECT_EQ(service::to_json(client.call(small_request(seed, 0.9))).dump(),
+              clean[seed - 1])
+        << "seed " << seed;
+  }
+  EXPECT_GT(server.stats().faults_injected, 0u)
+      << "the plan must actually have fired for this test to mean anything";
+  server.stop();
+}
+
+TEST(ServiceClient, TerminalErrorsAreNeverRetried) {
+  service::YieldServer server(loopback_options());
+  server.start();
+  service::YieldClient client(server);
+  service::RetryPolicy retry;
+  retry.max_attempts = 5;
+  retry.backoff_base_ms = 1;
+  client.set_retry_policy(retry);
+
+  auto bad = small_request(1, 0.9);
+  bad.params.yield_desired = 2.0;
+  const std::uint64_t before = server.stats().frames_in;
+  try {
+    (void)client.call(bad);
+    FAIL() << "a bad_request must throw";
+  } catch (const service::ServiceError& e) {
+    EXPECT_EQ(e.code(), "bad_request");
+    EXPECT_FALSE(e.transient());
+  }
+  // One frame, not five: a deterministic verdict is not worth re-asking.
+  EXPECT_EQ(server.stats().frames_in, before + 1);
+  server.stop();
+}
+
+TEST(ServiceClient, RetryDeadlineBudgetBoundsTheAttempts) {
+  auto options = loopback_options();
+  service::FaultPlanOptions faults;
+  faults.seed = 1;
+  faults.period = 1;  // every frame rejected: retries can never succeed
+  faults.faults = service::fault_specs_from_names("reject");
+  options.fault_plan = std::make_shared<service::FaultPlan>(faults);
+  service::YieldServer server(options);
+  server.start();
+  service::YieldClient client(server);
+  service::RetryPolicy retry;
+  retry.max_attempts = 1000;
+  retry.backoff_base_ms = 5;
+  retry.backoff_multiplier = 1.0;
+  retry.deadline_ms = 40;  // the budget, not the attempt count, must stop it
+  client.set_retry_policy(retry);
+  try {
+    (void)client.call(small_request(1, 0.9));
+    FAIL() << "an always-rejecting server must exhaust the budget";
+  } catch (const service::ServiceError& e) {
+    EXPECT_EQ(e.code(), "try_later");
+  }
+  EXPECT_LT(server.stats().faults_injected, 100u);
+  server.stop();
+}
+
+TEST(ServiceServer, AdmissionQueueRejectsOverloadWithTransientCode) {
+  auto options = loopback_options();
+  options.max_queue = 2;
+  options.coalesce_window_us = 200000;  // hold the queue full long enough
+  service::YieldServer server(options);
+  server.start();
+
+  std::vector<std::future<std::string>> futures;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    futures.push_back(
+        server.submit(service::encode_flow_request(small_request(seed, 0.9))));
+  }
+  std::size_t rejected = 0;
+  std::size_t served = 0;
+  for (auto& future : futures) {
+    const Frame frame = service::decode_frame(future.get());
+    if (frame.type == FrameType::Error) {
+      const auto error = service::error_from_payload(frame.payload);
+      EXPECT_EQ(error.code, "server_overloaded");
+      EXPECT_TRUE(service::is_transient_error(error.code));
+      rejected += 1;
+    } else {
+      EXPECT_EQ(frame.type, FrameType::FlowResponse);
+      served += 1;
+    }
+  }
+  EXPECT_EQ(served, 2u);
+  EXPECT_EQ(rejected, 2u);
+  EXPECT_EQ(server.stats().overload_rejects, 2u);
+  server.stop();
+}
+
+TEST(ServiceServer, PastDeadlineWorkIsShedBeforeEvaluation) {
+  auto options = loopback_options();
+  options.coalesce_window_us = 80000;  // 80 ms: a 10 ms deadline must pass
+  service::YieldServer server(options);
+  server.start();
+
+  auto doomed = small_request(1, 0.9);
+  doomed.deadline_ms = 10;
+  const auto patient = small_request(2, 0.9);  // no deadline, same batch
+  auto doomed_future = server.submit(service::encode_flow_request(doomed));
+  auto patient_future = server.submit(service::encode_flow_request(patient));
+
+  const auto error = expect_error_frame(doomed_future.get());
+  EXPECT_EQ(error.code, "deadline_exceeded");
+  EXPECT_TRUE(service::is_transient_error(error.code));
+  EXPECT_EQ(service::decode_frame(patient_future.get()).type,
+            FrameType::FlowResponse);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.deadline_sheds, 1u);
+  EXPECT_EQ(stats.responses, 1u);
+  server.stop();
+}
+
+TEST(ServiceServer, DrainFinishesQueuedWorkAndRefusesNewFrames) {
+  auto options = loopback_options();
+  options.coalesce_window_us = 100000;  // queued work outlives drain entry
+  service::YieldServer server(options);
+  server.start();
+
+  auto first = server.submit(service::encode_flow_request(small_request(1, 0.9)));
+  auto second = server.submit(service::encode_flow_request(small_request(2, 0.9)));
+  std::thread drainer([&server] { server.drain(); });
+  // Give drain() a moment to raise the draining flag, then knock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const auto refused = expect_error_frame(
+      server.submit(service::encode_flow_request(small_request(3, 0.9))).get());
+  EXPECT_EQ(refused.code, "shutting_down");
+  EXPECT_TRUE(service::is_transient_error(refused.code));
+  // The queued requests still get real responses — that is the point.
+  EXPECT_EQ(service::decode_frame(first.get()).type, FrameType::FlowResponse);
+  EXPECT_EQ(service::decode_frame(second.get()).type,
+            FrameType::FlowResponse);
+  drainer.join();
+  server.stop();
+}
+
+// --- adversarial wire behaviour (TCP) --------------------------------------
+
+/// Raw TCP connection for byte-level abuse the YieldClient would refuse to
+/// send.
+int connect_raw(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_GE(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// True if the peer closes `fd` within `timeout_ms` (EOF on recv).
+bool closed_within(int fd, int timeout_ms) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+  char byte = 0;
+  while (clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 100) <= 0) continue;
+    const ssize_t k = ::recv(fd, &byte, 1, 0);
+    if (k <= 0) return true;  // EOF (or reset): the server let go
+  }
+  return false;
+}
+
+TEST(ServiceServer, SlowLorisPeerIsDroppedAfterIdleTimeout) {
+  auto options = loopback_options();
+  options.listen = true;
+  options.port = 0;
+  options.idle_timeout_ms = 300;
+  service::YieldServer server(options);
+  server.start();
+
+  // Dribble half a header, then stall: the server must reclaim the
+  // connection after idle_timeout_ms instead of wedging a handler forever.
+  const int fd = connect_raw(server.port());
+  const std::string header_half =
+      service::encode_frame(FrameType::Ping, "{}").substr(0, 8);
+  ASSERT_EQ(::send(fd, header_half.data(), header_half.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(header_half.size()));
+  EXPECT_TRUE(closed_within(fd, 5000));
+  ::close(fd);
+
+  // The handler lane is free again: a well-behaved client is served.
+  service::YieldClient client("127.0.0.1", server.port());
+  EXPECT_NE(client.ping().find("\"version\""), std::string::npos);
+  server.stop();
+}
+
+TEST(ServiceServer, TruncatedMidPayloadConnectionNeverHangsTheServer) {
+  auto options = loopback_options();
+  options.listen = true;
+  options.port = 0;
+  options.idle_timeout_ms = 300;
+  service::YieldServer server(options);
+  server.start();
+
+  // A full header announcing payload the peer never finishes sending.
+  const std::string frame =
+      service::encode_flow_request(small_request(1, 0.9));
+  const int fd = connect_raw(server.port());
+  const std::size_t partial = service::kHeaderBytes + 10;
+  ASSERT_EQ(::send(fd, frame.data(), partial, MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial));
+  EXPECT_TRUE(closed_within(fd, 5000));
+  ::close(fd);
+
+  service::YieldClient client("127.0.0.1", server.port());
+  EXPECT_NE(client.ping().find("\"version\""), std::string::npos);
+  server.stop();
+}
+
+TEST(ServiceServer, PeerDyingMidExchangeNeverKillsTheServer) {
+  // The SIGPIPE regression: a client that sends a full request and
+  // vanishes before reading the response makes the server write to a dead
+  // socket. MSG_NOSIGNAL + SIG_IGN must turn that into a dropped
+  // connection, not a process death.
+  auto options = loopback_options();
+  options.listen = true;
+  options.port = 0;
+  service::YieldServer server(options);
+  server.start();
+
+  auto request = small_request(9, 0.9);
+  request.params.mc_samples = 200;
+  const std::string frame = service::encode_flow_request(request);
+  const int fd = connect_raw(server.port());
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  ::close(fd);  // gone before the response is written
+
+  // The server survives and keeps serving; give it time to hit the dead
+  // socket first (the response write happens after evaluation).
+  service::YieldClient client("127.0.0.1", server.port());
+  const auto result = client.call(request);
+  EXPECT_EQ(result.strategies.size(), 4u);
+  server.stop();
+}
+
+TEST(ServiceClient, TcpClientReconnectsAfterInjectedDrops) {
+  auto options = loopback_options();
+  options.listen = true;
+  options.port = 0;
+  service::FaultPlanOptions faults;
+  faults.seed = 5;
+  faults.period = 2;
+  faults.faults = service::fault_specs_from_names("drop,truncate");
+  options.fault_plan = std::make_shared<service::FaultPlan>(faults);
+  service::YieldServer server(options);
+  server.start();
+
+  service::YieldClient client("127.0.0.1", server.port());
+  service::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_base_ms = 1;
+  client.set_retry_policy(retry);
+  auto request = small_request(3, 0.9);
+  request.params.mc_samples = 200;
+  // Two calls over a wire that keeps dropping: reconnect-on-drop makes
+  // both land, and the plan's cadence guarantees at least one fault fired.
+  EXPECT_EQ(client.call(request).strategies.size(), 4u);
+  request.params.seed = 4;
+  EXPECT_EQ(client.call(request).strategies.size(), 4u);
+  EXPECT_GT(server.stats().faults_injected, 0u);
   server.stop();
 }
 

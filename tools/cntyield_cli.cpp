@@ -26,11 +26,27 @@
 //   cntyield_cli gen-lib [--which=nangate45|commercial65] --out=FILE
 //   cntyield_cli gen-design --lib=FILE --out=FILE [--instances=50000]
 //   cntyield_cli serve   [--port=7421] [--threads=N] [--coalesce-us=2000]
-//                        [--cache-size=4] [--knots=65]
+//                        [--cache-size=4] [--knots=65] [--max-queue=1024]
+//                        (SIGTERM/SIGINT or a Shutdown frame drain
+//                        gracefully: queued work finishes, new requests
+//                        get `shutting_down`)
 //   cntyield_cli request [--host=127.0.0.1] [--port=7421] [--ping]
 //                        [--shutdown] [--library=nangate45|commercial65]
-//                        [--instances=0] [--yield=0.90] [--seed=1] ...
+//                        [--instances=0] [--yield=0.90] [--seed=1]
+//                        [--retries=0] [--retry-base-ms=10]
+//                        [--deadline-ms=0] ...
 //   cntyield_cli --version
+//
+// Failure semantics (docs/architecture.md): a service failure exits 4
+// (transport — could not reach/keep a connection or parse the response)
+// or 5 (the server answered with an error frame), each with a one-line
+// stderr diagnostic. --retries=N retries *transient* failures up to N
+// times with exponential backoff; terminal errors (bad_request, ...) are
+// never retried. campaign --via-service takes the same --retries/
+// --retry-base-ms, plus a deterministic chaos harness for drills:
+// --chaos=drop,delay,reject [--chaos-period=3] [--chaos-seed=1]
+// [--chaos-max=0] injects wire faults into the loopback server; transient
+// outcomes are retried and never reach the store.
 //
 // `flow` and `batch` honour --threads=N (0 = hardware concurrency, the
 // default); thread count only changes wall-clock, never the numbers (those
@@ -428,6 +444,23 @@ int cmd_scenarios(const util::Cli& cli) {
 /// between chunks).
 volatile std::sig_atomic_t g_campaign_interrupted = 0;
 
+/// Serve interrupt flag — SIGTERM/SIGINT trigger a graceful drain (finish
+/// queued work, refuse new frames) instead of killing in-flight batches.
+volatile std::sig_atomic_t g_serve_interrupted = 0;
+
+/// Shared retry flags (request / campaign --via-service): --retries=N adds
+/// N transient-failure retries on top of the first attempt.
+service::RetryPolicy resolve_retry_policy(const util::Cli& cli) {
+  service::RetryPolicy retry;
+  retry.max_attempts = 1 + static_cast<unsigned>(
+                               require_long_in(cli, "retries", 0, 0, 1000));
+  retry.backoff_base_ms = static_cast<unsigned>(
+      require_long_in(cli, "retry-base-ms", 10, 1, 60'000));
+  retry.jitter_seed = static_cast<std::uint64_t>(
+      cli.get_long("seed", 1));
+  return retry;
+}
+
 /// "key=value;key=value" pairs (';'-separated so sweep expressions keep
 /// their commas), split at the FIRST '=' so values may contain '='.
 std::vector<std::pair<std::string, std::string>> parse_pairs(
@@ -512,6 +545,26 @@ int cmd_campaign(const util::Cli& cli) {
       require_long_in(cli, "cache-size", 8, 1, 1024));
   options.interpolant_knots = static_cast<std::size_t>(require_long_in(
       cli, "knots", 65, 4, 100000));
+  options.retry = resolve_retry_policy(cli);
+  if (cli.has("chaos")) {
+    // Deterministic fault drill: the loopback server breaks the wire on a
+    // seeded schedule while the runner retries through it. Only meaningful
+    // where there is a wire to break.
+    CNY_EXPECT_MSG(options.via_service,
+                   "--chaos requires --via-service (faults are injected "
+                   "into the loopback server)");
+    service::FaultPlanOptions fault_options;
+    fault_options.faults =
+        service::fault_specs_from_names(cli.get("chaos", ""));
+    fault_options.period = static_cast<unsigned>(
+        require_long_in(cli, "chaos-period", 3, 2, 1'000'000));
+    fault_options.seed =
+        static_cast<std::uint64_t>(cli.get_long("chaos-seed", 1));
+    fault_options.max_faults = static_cast<std::uint64_t>(
+        require_long_in(cli, "chaos-max", 0, 0, 1'000'000'000));
+    options.fault_plan =
+        std::make_shared<service::FaultPlan>(fault_options);
+  }
   g_campaign_interrupted = 0;
   std::signal(SIGTERM, [](int) { g_campaign_interrupted = 1; });
   std::signal(SIGINT, [](int) { g_campaign_interrupted = 1; });
@@ -630,28 +683,49 @@ int cmd_serve(const util::Cli& cli) {
       cli, "cache-size", static_cast<long>(options.cache_capacity), 1, 1024));
   options.interpolant_knots = static_cast<std::size_t>(require_long_in(
       cli, "knots", static_cast<long>(options.interpolant_knots), 4, 100000));
+  options.max_queue = static_cast<std::size_t>(require_long_in(
+      cli, "max-queue", static_cast<long>(options.max_queue), 1, 1'000'000));
   service::YieldServer server(options);
   server.start();
   std::printf(
       "cntyield_cli %s serving on 127.0.0.1:%u (protocol v%u, %zu warm "
-      "sessions cached, %u us coalescing window)\n",
+      "sessions cached, %u us coalescing window, %zu-deep admission queue)\n",
       service::kVersionString, server.port(), service::kProtocolVersion,
-      options.cache_capacity, options.coalesce_window_us);
+      options.cache_capacity, options.coalesce_window_us, options.max_queue);
   std::fflush(stdout);
-  server.wait_shutdown();
+  // SIGTERM/SIGINT and a Shutdown frame share the same exit: a graceful
+  // drain. The handler only sets a flag; the bounded wait below polls it,
+  // because a signal handler cannot safely poke a condition variable.
+  g_serve_interrupted = 0;
+  std::signal(SIGTERM, [](int) { g_serve_interrupted = 1; });
+  std::signal(SIGINT, [](int) { g_serve_interrupted = 1; });
+  while (!server.wait_shutdown_for(200)) {
+    if (g_serve_interrupted != 0) {
+      std::printf("signal received: draining (queued work finishes, new "
+                  "requests get shutting_down)\n");
+      std::fflush(stdout);
+      break;
+    }
+  }
+  server.drain();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
   const auto stats = server.stats();
-  server.stop();
   std::printf(
       "shutting down: %llu frames in, %llu responses, %llu errors, "
       "%llu requests over %llu batches, %llu sessions warmed, "
-      "%llu connections\n",
+      "%llu connections, %llu overload rejects, %llu deadline sheds, "
+      "%llu faults injected\n",
       static_cast<unsigned long long>(stats.frames_in),
       static_cast<unsigned long long>(stats.responses),
       static_cast<unsigned long long>(stats.errors),
       static_cast<unsigned long long>(stats.batched_requests),
       static_cast<unsigned long long>(stats.batches),
       static_cast<unsigned long long>(stats.sessions_built),
-      static_cast<unsigned long long>(stats.connections));
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.overload_rejects),
+      static_cast<unsigned long long>(stats.deadline_sheds),
+      static_cast<unsigned long long>(stats.faults_injected));
   return 0;
 }
 
@@ -659,6 +733,7 @@ int cmd_request(const util::Cli& cli) {
   service::YieldClient client(
       cli.get("host", "127.0.0.1"),
       static_cast<std::uint16_t>(require_long_in(cli, "port", 7421, 1, 65535)));
+  client.set_retry_policy(resolve_retry_policy(cli));
   if (cli.has("ping")) {
     std::printf("pong: %s\n", client.ping().c_str());
     return 0;
@@ -680,6 +755,8 @@ int cmd_request(const util::Cli& cli) {
   request.process.p_remove_s =
       cli.get_double("prs", request.process.p_remove_s);
   request.params = resolve_flow_params(cli);
+  request.deadline_ms = static_cast<std::uint64_t>(
+      require_long_in(cli, "deadline-ms", 0, 0, 86'400'000));
   // Client-side preflight with the same validator the server runs: a bad
   // value fails here with the identical message, without a round trip.
   service::validate(request);
@@ -751,19 +828,22 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
       "threads", "library", "instances", "yield", "chip-m", "mc-samples",
       "streams", "seed", "pm", "prs", "cv", "pitch-mean", "scenario", "prm",
       "noise-fails", "length-mean-um", "length-cv", "length-devices",
-      "selectivity", "prm-target"}},
+      "selectivity", "prm-target", "retries", "retry-base-ms", "chaos",
+      "chaos-period", "chaos-seed", "chaos-max"}},
     {"scaling", {"relaxation"}},
     {"table1", {}},
     {"table2", {}},
     {"align", {"lib", "wmin", "rows", "spacing", "out"}},
     {"gen-lib", {"which", "out"}},
     {"gen-design", {"lib", "out", "instances"}},
-    {"serve", {"port", "threads", "coalesce-us", "cache-size", "knots"}},
+    {"serve",
+     {"port", "threads", "coalesce-us", "cache-size", "knots", "max-queue"}},
     {"request",
      {"host", "port", "ping", "shutdown", "library", "instances", "yield",
       "chip-m", "mc-samples", "seed", "streams", "pm", "prs", "cv",
       "pitch-mean", "scenario", "prm", "noise-fails", "length-mean-um",
-      "length-cv", "length-devices", "selectivity", "prm-target"}},
+      "length-cv", "length-devices", "selectivity", "prm-target", "retries",
+      "retry-base-ms", "deadline-ms"}},
 };
 
 /// 0 when `cmd` exists and every flag is known; the exit code otherwise.
@@ -821,6 +901,13 @@ int main(int argc, char** argv) {
       std::cout << experiments::report_table2(params).render_text();
       return 0;
     }
+  } catch (const service::ServiceError& e) {
+    // One line, one taxonomy: exit 4 = the transport failed (nothing
+    // definitive was heard from the server), exit 5 = the server answered
+    // with an error frame. Scripts can branch on it.
+    std::fprintf(stderr, "service error [%s]: %s\n", e.code().c_str(),
+                 e.message().c_str());
+    return e.code() == "transport" ? 4 : 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
