@@ -181,6 +181,9 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
     }
   }
 
+  const std::size_t chunk_size =
+      options.checkpoint_every == 0 ? pending.size() : options.checkpoint_every;
+
   std::unique_ptr<service::SessionCache> cache;
   std::unique_ptr<service::YieldServer> server;
   if (!pending.empty()) {
@@ -190,6 +193,12 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
       server_options.cache_capacity = options.cache_capacity;
       server_options.interpolant_knots = options.interpolant_knots;
       server_options.fault_plan = options.fault_plan;
+      // evaluate_chunk_service submits a whole chunk at once; the admission
+      // queue must admit it, or an oversized chunk would deterministically
+      // draw server_overloaded rejections and burn the retry budget meant
+      // for injected faults.
+      server_options.max_queue =
+          std::max(server_options.max_queue, chunk_size);
       server = std::make_unique<service::YieldServer>(server_options);
       server->start();
     } else {
@@ -199,8 +208,6 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
     }
   }
 
-  const std::size_t chunk_size =
-      options.checkpoint_every == 0 ? pending.size() : options.checkpoint_every;
   std::size_t done = 0;
   while (done < pending.size()) {
     if (options.interrupted && options.interrupted()) {

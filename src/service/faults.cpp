@@ -73,13 +73,13 @@ std::optional<FaultSpec> FaultPlan::next() {
   const std::uint64_t n = ordinal_.fetch_add(1, std::memory_order_relaxed);
   if ((n % options_.period) != phase_) return std::nullopt;
   if (options_.max_faults > 0) {
-    // Claim an injection slot; back off if the cap is already spent.
-    const std::uint64_t claimed =
-        injected_.fetch_add(1, std::memory_order_relaxed);
-    if (claimed >= options_.max_faults) {
-      injected_.fetch_sub(1, std::memory_order_relaxed);
-      return std::nullopt;
-    }
+    // Claim an injection slot without ever publishing a count above the
+    // cap: injected() readers must never observe an overshoot.
+    std::uint64_t current = injected_.load(std::memory_order_relaxed);
+    do {
+      if (current >= options_.max_faults) return std::nullopt;
+    } while (!injected_.compare_exchange_weak(current, current + 1,
+                                              std::memory_order_relaxed));
   } else {
     injected_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -671,6 +671,26 @@ TEST(CampaignRunner, ChaosCampaignStoreIsByteIdenticalToFaultFree) {
   }
 }
 
+TEST(CampaignRunner, WholeCampaignChunkExceedingDefaultQueueIsAdmitted) {
+  // Regression: checkpoint_every = 0 submits the whole campaign as one
+  // chunk, so the loopback server's admission queue must be sized up to
+  // the chunk. Before the fix, points past the default max_queue (1024)
+  // drew server_overloaded rejections and — with no retry budget — the
+  // run threw instead of completing.
+  CampaignSpec spec = cheap_campaign();
+  spec.base.params.mc_samples = 1;  // cheapest legal point
+  spec.axes[0].values = "1:1:1100";
+  const auto points = campaign::compile(spec);
+
+  ResultStore store;
+  auto options = cheap_options();
+  options.via_service = true;
+  options.checkpoint_every = 0;  // one chunk for the whole campaign
+  const auto stats = campaign::run_campaign(points, store, options);
+  EXPECT_EQ(stats.evaluated + stats.failed, points.size());
+  EXPECT_EQ(store.size(), points.size());
+}
+
 TEST(CampaignRunner, RetryExhaustionThrowsAndNeverPoisonsTheStore) {
   const auto points = campaign::compile(cheap_campaign());
   ResultStore store;

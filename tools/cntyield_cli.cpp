@@ -456,6 +456,8 @@ service::RetryPolicy resolve_retry_policy(const util::Cli& cli) {
                                require_long_in(cli, "retries", 0, 0, 1000));
   retry.backoff_base_ms = static_cast<unsigned>(
       require_long_in(cli, "retry-base-ms", 10, 1, 60'000));
+  // A base above the default cap would otherwise be silently clamped.
+  retry.backoff_max_ms = std::max(retry.backoff_max_ms, retry.backoff_base_ms);
   retry.jitter_seed = static_cast<std::uint64_t>(
       cli.get_long("seed", 1));
   return retry;
