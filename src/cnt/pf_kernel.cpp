@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "cnt/pf_kernel_internal.h"
 #include "numeric/integrate.h"
 #include "numeric/special.h"
 #include "util/contracts.h"
@@ -14,15 +15,6 @@ using cny::numeric::gamma_cdf;
 using cny::numeric::gamma_q;
 
 namespace {
-
-/// Same tail floor as count_distribution.cpp — the two paths must truncate
-/// the quadrature domain and the PMF support identically to agree to 1e-12.
-constexpr double kTailEps = 1e-22;
-
-/// The integer-shape ladder is seeded at τ(0) = e^{-x}; past x ≈ 650 the
-/// seed risks flushing to zero before the recurrence can climb out of the
-/// denormals, so wider windows fall back to the per-node gamma_q path.
-constexpr double kLadderMaxX = 650.0;
 
 /// P(a,x)/τ = 1 + x/(a+1) + x²/((a+1)(a+2)) + …, with the reciprocals
 /// 1/(a+i) supplied by the per-term table: the shape is shared by every
@@ -47,19 +39,16 @@ inline double p_series_sum(double x, double eps,
 
 }  // namespace
 
-PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
-                            double rel_tol) {
-  CNY_EXPECT(width >= 0.0);
-  CNY_EXPECT(z >= 0.0 && z <= 1.0);
-  CNY_EXPECT(rel_tol > 0.0);
-  if (width == 0.0) return {1.0, 0, 0.0};  // N ≡ 0, G ≡ 1
-  if (z == 1.0) return {1.0, 0, 0.0};      // G(1) = total mass / total mass
+namespace detail {
 
-  const double k = pitch.shape();
-  const double theta = pitch.scale();
+PfGrid pf_setup(const PitchModel& pitch, double width) {
+  PfGrid grid;
+  grid.width = width;
+  const double k = grid.k = pitch.shape();
+  const double theta = grid.theta = pitch.scale();
   const double mu = pitch.mean();
 
-  const double p0 = std::max(0.0, 1.0 - pitch.equilibrium_cdf(width));
+  grid.p0 = std::max(0.0, 1.0 - pitch.equilibrium_cdf(width));
 
   // Node-major quadrature grid: the panel layout (split point, panel
   // counts, 16-point GL rule) replicates CountDistribution's construction,
@@ -69,7 +58,8 @@ PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
   const int panels_head = 24;
   const int panels_tail = std::max(16, static_cast<int>(u_cap / mu) * 4 + 16);
 
-  std::vector<double> xs, fw;  // per node: x and GL-weight · f_e(u)
+  std::vector<double>& xs = grid.xs;
+  std::vector<double>& fw = grid.fw;
   xs.reserve(16 * static_cast<std::size_t>(panels_head + panels_tail));
   fw.reserve(xs.capacity());
   const auto add_panels = [&](double a, double b, int panels) {
@@ -116,6 +106,7 @@ PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
       n_stop = lo;
     }
   }
+  grid.n_stop = n_stop;
 
   // Quadrature mass of Σ_{n=1}^{n_stop} pₙ, via the telescoped form
   // ∫ f_e(u)·Q(n_stop·k, x) du — one gamma per node instead of n_stop.
@@ -123,12 +114,50 @@ PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
   for (std::size_t j = 0; j < n_nodes; ++j) {
     mass_tail += fw[j] * gamma_q(static_cast<double>(n_stop) * k, xs[j]);
   }
-  const double total = p0 + mass_tail;
-  CNY_ENSURE_MSG(std::fabs(total - 1.0) < 1e-6,
+  grid.mass_tail = mass_tail;
+  grid.total = grid.p0 + mass_tail;
+  CNY_ENSURE_MSG(std::fabs(grid.total - 1.0) < 1e-6,
                  "count PMF mass deviates from 1: quadrature failure");
 
-  // Shape-stepping machinery. Both fast paths maintain the per-node ladder
-  // term τ(a) = x^a e^{-x} / Γ(a+1), seeded at a = 0 (τ = e^{-x}):
+  // Shape-stepping machinery (see pf_terms_scalar for how it is consumed).
+  // Past x ≈ 650 the e^{-x} seed risks flushing to zero before the ladder
+  // climbs out of the denormals, so wider windows fall back to plain
+  // per-node gamma_q (still node-major + truncated).
+  const long k_int = grid.k_int = std::lround(k);
+  grid.prefactored = width / theta < kLadderMaxX;
+  grid.ladder =
+      std::fabs(k - static_cast<double>(k_int)) < 1e-9 && k_int >= 1 &&
+      grid.prefactored;
+
+  if (grid.prefactored) {
+    grid.tau0.resize(n_nodes);
+    for (std::size_t j = 0; j < n_nodes; ++j) grid.tau0[j] = std::exp(-xs[j]);
+    if (!grid.ladder) {
+      double x_max = 0.0;
+      grid.xk.resize(n_nodes);
+      for (std::size_t j = 0; j < n_nodes; ++j) {
+        grid.xk[j] = std::pow(xs[j], k);
+        x_max = std::max(x_max, xs[j]);
+      }
+      // Reciprocal table sized for the series' worst case, the slow decay
+      // just below the x = a+1 split.
+      grid.inv_len = static_cast<std::size_t>(16.0 * std::sqrt(x_max)) + 96;
+    }
+  }
+  return grid;
+}
+
+PfKernelResult pf_terms_scalar(const PfGrid& grid, double z, double rel_tol) {
+  const std::size_t n_nodes = grid.xs.size();
+  const std::vector<double>& xs = grid.xs;
+  const std::vector<double>& fw = grid.fw;
+  const double k = grid.k;
+  const long k_int = grid.k_int;
+  const long n_stop = grid.n_stop;
+  const double mass_tail = grid.mass_tail;
+
+  // Both fast paths maintain the per-node ladder term
+  // τ(a) = x^a e^{-x} / Γ(a+1), seeded at a = 0 (τ = e^{-x}):
   //  * integer k — the exact upward recurrence
   //      Q(a+1, x) = Q(a, x) + τ(a)
   //    stepped k times per PMF term; each per-n increment is an
@@ -139,35 +168,11 @@ PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
   //    and seeds gamma_q_prefactored, which skips the per-call
   //    exp/log/lgamma prefactor and runs its series/continued fraction at
   //    a tolerance matched to the term's certified contribution budget.
-  // Past x ≈ 650 the e^{-x} seed risks flushing to zero before the ladder
-  // climbs out of the denormals, so wider windows fall back to plain
-  // per-node gamma_q (still node-major + truncated).
-  const long k_int = std::lround(k);
-  const bool prefactored = width / theta < kLadderMaxX;
-  const bool ladder =
-      std::fabs(k - static_cast<double>(k_int)) < 1e-9 && k_int >= 1 &&
-      prefactored;
-
   std::vector<double> q_prev(n_nodes, 0.0);  // Q((n-1)k, x): Q(0,·) := 0
-  std::vector<double> tau, xk, inv_shape;
-  if (prefactored) {
-    tau.resize(n_nodes);
-    for (std::size_t j = 0; j < n_nodes; ++j) tau[j] = std::exp(-xs[j]);
-    if (!ladder) {
-      double x_max = 0.0;
-      xk.resize(n_nodes);
-      for (std::size_t j = 0; j < n_nodes; ++j) {
-        xk[j] = std::pow(xs[j], k);
-        x_max = std::max(x_max, xs[j]);
-      }
-      // Reciprocal table sized for the series' worst case, the slow decay
-      // just below the x = a+1 split.
-      inv_shape.resize(
-          static_cast<std::size_t>(16.0 * std::sqrt(x_max)) + 96);
-    }
-  }
+  std::vector<double> tau = grid.tau0;       // empty on the gamma_q path
+  std::vector<double> inv_shape(grid.inv_len);
 
-  double acc = p0;        // Σ_{m<n} pₘ z^m, raw quadrature values
+  double acc = grid.p0;   // Σ_{m<n} pₘ z^m, raw quadrature values
   double cum_mass = 0.0;  // Σ_{1≤m<n} pₘ
   double zn = 1.0;        // z^(n-1)
   double shape = 0.0;     // ladder shape counter (n-1)·k
@@ -184,7 +189,7 @@ PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
     if (rem_bound <= rel_tol * acc) break;
 
     double term = 0.0;
-    if (ladder) {
+    if (grid.ladder) {
       for (std::size_t j = 0; j < n_nodes; ++j) {
         const double x = xs[j];
         double t = tau[j];
@@ -199,7 +204,7 @@ PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
       shape += static_cast<double>(k_int);
     } else {
       const double a_hi = static_cast<double>(n) * k;
-      if (prefactored) {
+      if (grid.prefactored) {
         // The iteration tolerance may relax as the term's certified
         // contribution budget z^n·tail shrinks relative to the
         // accumulated sum; an eps error on term n moves the result by
@@ -215,7 +220,7 @@ PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
           inv_shape[i] = 1.0 / (a_hi + static_cast<double>(i));
         }
         for (std::size_t j = 0; j < n_nodes; ++j) {
-          tau[j] *= xk[j] * rho;
+          tau[j] *= grid.xk[j] * rho;
           const double x = xs[j];
           // x < a+1 runs the table-backed series; past the split,
           // gamma_q_prefactored takes its continued-fraction branch.
@@ -247,7 +252,21 @@ PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
     rem_bound = zn * z * std::max(0.0, mass_tail - cum_mass);
   }
 
-  return {acc / total, terms, rem_bound / total};
+  return {acc / grid.total, terms, rem_bound / grid.total};
+}
+
+}  // namespace detail
+
+PfKernelResult pf_truncated(const PitchModel& pitch, double width, double z,
+                            double rel_tol) {
+  CNY_EXPECT(width >= 0.0);
+  CNY_EXPECT(z >= 0.0 && z <= 1.0);
+  CNY_EXPECT(rel_tol > 0.0);
+  if (width == 0.0) return {1.0, 0, 0.0};  // N ≡ 0, G ≡ 1
+  if (z == 1.0) return {1.0, 0, 0.0};      // G(1) = total mass / total mass
+
+  const detail::PfGrid grid = detail::pf_setup(pitch, width);
+  return detail::pf_terms_scalar(grid, z, rel_tol);
 }
 
 }  // namespace cny::cnt

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -55,6 +56,19 @@ class FailureModel {
   /// exact to ~1e-12 relative), bypassing any enabled interpolant. Memoised
   /// and thread-safe.
   [[nodiscard]] double p_f_exact(double width) const;
+
+  /// Batched p_f(): one result per width, each bit-identical to the
+  /// corresponding scalar p_f(width) call. Interpolant-covered widths read
+  /// the table; the remaining exact evaluations of one call are merged
+  /// into a single batched kernel pass (kernels::pf_truncated_batch) that
+  /// shares per-term setup across widths, then land in the memo as usual.
+  [[nodiscard]] std::vector<double> p_f_batch(
+      std::span<const double> widths) const;
+
+  /// Batched p_f_exact(): the same merged-kernel evaluation with the
+  /// interpolant bypassed for every width.
+  [[nodiscard]] std::vector<double> p_f_exact_batch(
+      std::span<const double> widths) const;
 
   /// Builds (first call) a monotone-cubic interpolant of log p_F over
   /// geometrically spaced knots in [w_lo, w_hi] and routes subsequent

@@ -1,0 +1,48 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+
+namespace cny::kernels {
+
+namespace {
+
+std::atomic<SimdMode> g_mode{SimdMode::Auto};
+
+bool detect_avx2() {
+#if defined(CNY_SIMD) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void set_simd_mode(SimdMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+SimdMode simd_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+bool simd_compiled() {
+#if defined(CNY_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_supported() {
+  // CPUID probe cached once: the answer cannot change within a process.
+  static const bool supported = detect_avx2();
+  return supported;
+}
+
+bool simd_active() {
+  return simd_supported() && simd_mode() == SimdMode::Auto;
+}
+
+const char* backend_name() { return simd_active() ? "avx2" : "scalar"; }
+
+}  // namespace cny::kernels

@@ -1,0 +1,57 @@
+#include "kernels/mc_kernels.h"
+
+#include "kernels/dispatch.h"
+#include "kernels/mc_kernels_impl.h"
+#include "util/contracts.h"
+
+namespace cny::kernels {
+
+namespace {
+
+void thin_scalar(std::span<const double> ys, std::span<const double> us,
+                 double p_fail, std::vector<double>& out) {
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (!(us[i] < p_fail)) out.push_back(ys[i]);
+  }
+}
+
+bool any_window_empty_sorted_scalar(std::span<const double> points,
+                                    std::span<const geom::Interval> windows) {
+  // One pass: with windows sorted by lo, the first point >= w.lo advances
+  // monotonically, so the per-window lower_bound collapses into a shared
+  // cursor.
+  const std::size_t n = points.size();
+  std::size_t idx = 0;
+  for (const auto& w : windows) {
+    while (idx < n && points[idx] < w.lo) ++idx;
+    if (idx == n || !(points[idx] < w.hi)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void thin_functional(std::span<const double> ys, std::span<const double> us,
+                     double p_fail, std::vector<double>& out) {
+  CNY_EXPECT(ys.size() == us.size());
+  out.clear();
+#if defined(CNY_SIMD)
+  if (simd_active()) {
+    detail::thin_avx2(ys, us, p_fail, out);
+    return;
+  }
+#endif
+  thin_scalar(ys, us, p_fail, out);
+}
+
+bool any_window_empty_sorted(std::span<const double> points,
+                             std::span<const geom::Interval> windows) {
+#if defined(CNY_SIMD)
+  if (simd_active()) {
+    return detail::any_window_empty_sorted_avx2(points, windows);
+  }
+#endif
+  return any_window_empty_sorted_scalar(points, windows);
+}
+
+}  // namespace cny::kernels

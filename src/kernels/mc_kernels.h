@@ -1,0 +1,43 @@
+// Vectorizable pieces of the Monte Carlo hot path.
+//
+// The MC determinism contract — results are a pure function of
+// (seed, n_streams) — pins the *draw order* of every stream: gamma pitch
+// sampling is rejection-based (Marsaglia–Tsang, variable draws per
+// variate), so the RNG phase of `functional_positions` is inherently
+// serial and stays in cnt/growth.cpp. What is legally vectorizable is
+// everything after the draws:
+//
+//  * thinning — selecting the functional tube positions out of the
+//    candidate array by comparing each tube's pre-drawn Bernoulli uniform
+//    against p_fail (pure compare + compress, no arithmetic);
+//  * the sorted-points window-emptiness sweep over a row's windows (pure
+//    compares over sorted data).
+//
+// Both kernels involve no floating-point arithmetic at all, only compares
+// and copies, so backend bit-identity is structural: scalar and AVX2
+// produce the same bytes by construction. Backend selection follows
+// kernels/dispatch.h.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/interval.h"
+
+namespace cny::kernels {
+
+/// Clears `out` and fills it with ys[i] for every i where !(us[i] < p_fail)
+/// — the survivors of per-tube Bernoulli(p_fail) failure, with us[i] the
+/// tube's pre-drawn uniform — preserving order. ys and us must have equal
+/// length.
+void thin_functional(std::span<const double> ys, std::span<const double> us,
+                     double p_fail, std::vector<double>& out);
+
+/// Does any window [lo, hi) contain no point? `points` must be sorted
+/// ascending and `windows` sorted by lo ascending (overlap is fine): one
+/// two-pointer sweep instead of a binary search per window. Same answer as
+/// the classic per-window lower_bound check in any window order.
+[[nodiscard]] bool any_window_empty_sorted(
+    std::span<const double> points, std::span<const geom::Interval> windows);
+
+}  // namespace cny::kernels

@@ -1,0 +1,101 @@
+// AVX2 implementations of the MC post-draw kernels. Neither kernel
+// performs floating-point arithmetic — only compares and copies — so the
+// output is the scalar output by construction; the -mno-fma
+// -ffp-contract=off flags on this TU are inherited from the kernels build
+// policy and vacuous here.
+#include "kernels/mc_kernels_impl.h"
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace cny::kernels::detail {
+
+namespace {
+
+/// Compress permutation table: entry m lists, as epi32 index pairs, the
+/// lanes whose mask bit is set, packed to the front (a double is index
+/// pair {2l, 2l+1}).
+const __m256i& compress_perm(unsigned mask) {
+  alignas(32) static const std::int32_t kTable[16][8] = {
+      {0, 0, 0, 0, 0, 0, 0, 0},  // 0000
+      {0, 1, 0, 0, 0, 0, 0, 0},  // 0001
+      {2, 3, 0, 0, 0, 0, 0, 0},  // 0010
+      {0, 1, 2, 3, 0, 0, 0, 0},  // 0011
+      {4, 5, 0, 0, 0, 0, 0, 0},  // 0100
+      {0, 1, 4, 5, 0, 0, 0, 0},  // 0101
+      {2, 3, 4, 5, 0, 0, 0, 0},  // 0110
+      {0, 1, 2, 3, 4, 5, 0, 0},  // 0111
+      {6, 7, 0, 0, 0, 0, 0, 0},  // 1000
+      {0, 1, 6, 7, 0, 0, 0, 0},  // 1001
+      {2, 3, 6, 7, 0, 0, 0, 0},  // 1010
+      {0, 1, 2, 3, 6, 7, 0, 0},  // 1011
+      {4, 5, 6, 7, 0, 0, 0, 0},  // 1100
+      {0, 1, 4, 5, 6, 7, 0, 0},  // 1101
+      {2, 3, 4, 5, 6, 7, 0, 0},  // 1110
+      {0, 1, 2, 3, 4, 5, 6, 7},  // 1111
+  };
+  return *reinterpret_cast<const __m256i*>(kTable[mask & 15u]);
+}
+
+}  // namespace
+
+void thin_avx2(std::span<const double> ys, std::span<const double> us,
+               double p_fail, std::vector<double>& out) {
+  const std::size_t n = ys.size();
+  // Worst case keeps everything; size up front, shrink at the end, write
+  // through a raw cursor (the 4-wide store may scribble up to 3 slots past
+  // the cursor, all within the n-slot buffer — see the bound below).
+  out.resize(n);
+  double* dst = out.data();
+  std::size_t w = 0;
+  const __m256d vpf = _mm256_set1_pd(p_fail);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d u = _mm256_loadu_pd(&us[i]);
+    // keep = !(u < p_fail), the scalar predicate verbatim.
+    const unsigned keep = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(u, vpf, _CMP_NLT_UQ)));
+    const __m256d y = _mm256_loadu_pd(&ys[i]);
+    const __m256d packed = _mm256_castsi256_pd(_mm256_permutevar8x32_epi32(
+        _mm256_castpd_si256(y), compress_perm(keep)));
+    // In-bounds: w <= i at every block head, so w + 3 <= i + 3 <= n - 1.
+    _mm256_storeu_pd(&dst[w], packed);
+    w += static_cast<unsigned>(std::popcount(keep));
+  }
+  for (; i < n; ++i) {
+    if (!(us[i] < p_fail)) dst[w++] = ys[i];
+  }
+  out.resize(w);
+}
+
+bool any_window_empty_sorted_avx2(std::span<const double> points,
+                                  std::span<const geom::Interval> windows) {
+  const std::size_t n = points.size();
+  std::size_t idx = 0;
+  for (const auto& w : windows) {
+    // Advance the shared cursor to the first point >= w.lo, four compares
+    // at a time. Points are sorted, so the < w.lo lanes form a prefix of
+    // the mask and countr_one gives the advance.
+    const __m256d vlo = _mm256_set1_pd(w.lo);
+    for (;;) {
+      if (idx + 4 <= n) {
+        const unsigned m = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_cmp_pd(_mm256_loadu_pd(&points[idx]), vlo, _CMP_LT_OQ)));
+        if (m == 0xFu) {
+          idx += 4;
+          continue;
+        }
+        idx += static_cast<unsigned>(std::countr_one(m));
+        break;
+      }
+      while (idx < n && points[idx] < w.lo) ++idx;
+      break;
+    }
+    if (idx == n || !(points[idx] < w.hi)) return true;
+  }
+  return false;
+}
+
+}  // namespace cny::kernels::detail

@@ -1,0 +1,26 @@
+// Internal seam between the MC kernel dispatchers (mc_kernels.cpp,
+// baseline ISA) and the AVX2 implementations (mc_kernels_avx2.cpp). Not a
+// public header.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/interval.h"
+
+namespace cny::kernels::detail {
+
+#if defined(CNY_SIMD)
+/// Compress-store thinning: identical output bytes to the scalar loop
+/// (compare + copy only, no arithmetic).
+void thin_avx2(std::span<const double> ys, std::span<const double> us,
+               double p_fail, std::vector<double>& out);
+
+/// Two-pointer window sweep with a 4-wide advance. Identical answer to the
+/// scalar sweep (compares over sorted data only).
+[[nodiscard]] bool any_window_empty_sorted_avx2(
+    std::span<const double> points, std::span<const geom::Interval> windows);
+#endif
+
+}  // namespace cny::kernels::detail

@@ -1,0 +1,23 @@
+// Internal seam between the batch dispatcher (pf_batch.cpp, baseline ISA)
+// and the AVX2 term-loop kernel (pf_batch_avx2.cpp, compiled with
+// -mavx2 -mno-fma -ffp-contract=off). Grid setup always happens on the
+// dispatcher side via cnt::detail::pf_setup — the same objects the scalar
+// kernel uses — so the only code that differs between backends is the term
+// loop itself. Not a public header.
+#pragma once
+
+#include "cnt/pf_kernel.h"
+#include "cnt/pf_kernel_internal.h"
+
+namespace cny::kernels::detail {
+
+#if defined(CNY_SIMD)
+/// Lane-parallel PMF term loop over `m` (2..4) prebuilt grids sharing one
+/// pitch model, all on a prefactored path (grids[l]->prefactored). Writes
+/// out[l] bit-identical to cnt::detail::pf_terms_scalar(*grids[l], z,
+/// rel_tol) for every lane.
+void pf_terms_avx2(const cnt::detail::PfGrid* const* grids, int m, double z,
+                   double rel_tol, cnt::PfKernelResult* out);
+#endif
+
+}  // namespace cny::kernels::detail

@@ -120,6 +120,7 @@ struct YieldServer::Impl {
     counters.set("overload_rejects", Json::number(s.overload_rejects));
     counters.set("deadline_sheds", Json::number(s.deadline_sheds));
     counters.set("faults_injected", Json::number(s.faults_injected));
+    counters.set("merged_kernel_hits", Json::number(s.merged_kernel_hits));
     v.set("stats", std::move(counters));
     return v.dump();
   }
@@ -225,6 +226,45 @@ struct YieldServer::Impl {
       } catch (const std::exception& e) {
         frames[i] = encode_error("internal_error", e.what());
         failed[i] = 1;
+      }
+    }
+    // Merged-kernel pre-pass. Jobs in one group share a session key
+    // (library + pitch + corner), so any exact-path p_F width two jobs
+    // both need would otherwise be computed twice — once per job, since
+    // each run_flow only queries as it goes. The widths a job will ask
+    // for exactly are knowable up front: its design's width spectrum,
+    // minus whatever the session interpolant already covers (solver
+    // bracket queries all land inside the table). Deduplicate the union
+    // across the group and evaluate it in ONE batched kernel pass; the
+    // results land in the session model's memo, which is what the jobs
+    // read. Bit-identical by the kernels contract, so responses do not
+    // depend on whether the pre-pass ran. Scenario jobs that derive a
+    // different process corner rebuild their model inside run_flow and
+    // are skipped here (their widths would warm the wrong memo).
+    if (indices.size() >= 2) {
+      std::vector<double> widths;
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (failed[i]) continue;
+        const FlowRequest& request = batch[indices[i]].request;
+        if (request.params.scenario.removal) continue;
+        for (const auto& [w, n] : designs[i]->width_spectrum()) {
+          if (!session->model().interpolation_covers(w)) {
+            widths.push_back(w);
+          }
+        }
+      }
+      const std::size_t requested = widths.size();
+      std::sort(widths.begin(), widths.end());
+      widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+      if (requested > widths.size()) {
+        try {
+          (void)session->model().p_f_exact_batch(widths);
+          bump(&ServerStats::merged_kernel_hits,
+               requested - widths.size());
+        } catch (const std::exception&) {
+          // Pure warm-up: a failing width fails its own job below, with
+          // that job's error frame.
+        }
       }
     }
     // Job-indexed slots + per-job determinism: scheduling cannot change

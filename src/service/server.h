@@ -80,6 +80,9 @@ struct ServerStats {
   std::uint64_t overload_rejects = 0;  ///< admission-queue rejections
   std::uint64_t deadline_sheds = 0;    ///< shed past-deadline, unevaluated
   std::uint64_t faults_injected = 0;   ///< fault-plan injections applied
+  /// Duplicate exact-path p_F(W) evaluations a coalesced group shared
+  /// through one batched kernel pass instead of recomputing per job.
+  std::uint64_t merged_kernel_hits = 0;
 };
 
 class YieldServer {

@@ -3,23 +3,10 @@
 #include <algorithm>
 
 #include "exec/parallel_mc.h"
+#include "kernels/mc_kernels.h"
 #include "util/contracts.h"
 
 namespace cny::yield {
-
-namespace {
-
-/// Does any window lack a functional CNT? `points` must be sorted.
-bool any_window_empty(const std::vector<double>& points,
-                      const std::vector<geom::Interval>& windows) {
-  for (const auto& w : windows) {
-    const auto it = std::lower_bound(points.begin(), points.end(), w.lo);
-    if (!(it != points.end() && *it < w.hi)) return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 namespace {
 
@@ -49,6 +36,15 @@ ChipMcResult simulate_chip_yield(const cnt::DirectionalGrowth& growth,
     hi = std::max(hi, w.hi);
   }
 
+  // "Any window empty" is invariant under window order, so sort a copy by
+  // lo once and let every row share a single two-pointer sweep (the
+  // kernels seam) instead of a binary search per window.
+  std::vector<geom::Interval> sorted_windows = spec.row_windows;
+  std::sort(sorted_windows.begin(), sorted_windows.end(),
+            [](const geom::Interval& a, const geom::Interval& b) {
+              return a.lo < b.lo;
+            });
+
   // Shardable chip loop; `points` is per-shard scratch reused across every
   // row (and every window in the uncorrelated branch) of the shard.
   const auto kernel = [&](unsigned /*stream*/, std::uint64_t shard_chips,
@@ -62,14 +58,12 @@ ChipMcResult simulate_chip_yield(const cnt::DirectionalGrowth& growth,
         bool row_failed = false;
         if (style == GrowthStyle::Directional) {
           growth.functional_positions(shard_rng, lo, hi, points);
-          row_failed = any_window_empty(points, spec.row_windows);
+          row_failed = kernels::any_window_empty_sorted(points, sorted_windows);
         } else {
           // Uncorrelated growth: every device sees a fresh CNT population.
           for (const auto& w : spec.row_windows) {
             growth.functional_positions(shard_rng, w.lo, w.hi, points);
-            const auto it =
-                std::lower_bound(points.begin(), points.end(), w.lo);
-            if (!(it != points.end() && *it < w.hi)) {
+            if (kernels::any_window_empty_sorted(points, {&w, 1})) {
               row_failed = true;
               break;
             }

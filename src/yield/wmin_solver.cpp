@@ -1,5 +1,6 @@
 #include "yield/wmin_solver.h"
 
+#include <array>
 #include <cmath>
 
 #include "numeric/roots.h"
@@ -15,9 +16,15 @@ double invert_p_f(const device::FailureModel& model, double p_f_target,
   // makes Brent converge in a handful of iterations.
   const auto log_pf = [&](double w) { return std::log(model.p_f(w)); };
   const double target = std::log(p_f_target);
-  CNY_EXPECT_MSG(log_pf(w_lo) >= target,
+  // Both bracket endpoints in one batched query: on a cold model (no
+  // interpolant, empty memo) the two kernel evaluations share one pass.
+  // Refinement queries below are inherently serial (Brent picks each
+  // abscissa from the previous result) and hit the memo/interpolant.
+  const std::array<double, 2> bracket = {w_lo, w_hi};
+  const auto bracket_pf = model.p_f_batch(bracket);
+  CNY_EXPECT_MSG(std::log(bracket_pf[0]) >= target,
                  "W bracket too high: p_F(w_lo) below target");
-  CNY_EXPECT_MSG(log_pf(w_hi) <= target,
+  CNY_EXPECT_MSG(std::log(bracket_pf[1]) <= target,
                  "W bracket too low: p_F(w_hi) above target");
   const auto res = cny::numeric::invert_decreasing(log_pf, target, w_lo, w_hi,
                                                    1e-6);

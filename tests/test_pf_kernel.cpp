@@ -115,6 +115,42 @@ TEST(PfKernel, DegenerateInputs) {
                cny::ContractViolation);
 }
 
+TEST(PfKernel, EdgeCasesHonourTheContract) {
+  const PitchModel pitch(4.0, 0.9);
+  // z endpoints: z = 0 collapses the PGF to P{N(W) = 0} with nothing
+  // truncated; z = 1 is the total mass, exactly 1 with a zero remainder.
+  for (double w : {2.0, 60.0, 500.0}) {
+    const CountDistribution full(pitch, w);
+    const auto at0 = pf_truncated(pitch, w, 0.0);
+    EXPECT_LE(rel_err(at0.value, full.pmf(0)), 1e-13) << "w=" << w;
+    EXPECT_LE(at0.remainder_bound, 1e-14 * at0.value);
+    const auto at1 = pf_truncated(pitch, w, 1.0);
+    EXPECT_EQ(at1.value, 1.0);
+    EXPECT_EQ(at1.remainder_bound, 0.0);
+  }
+  // Sub-pitch devices (W below one mean pitch): P{N = 0} dominates, the
+  // value must stay a probability and match the full-PMF reference.
+  for (double w : {0.25, 1.0, 3.9}) {
+    const CountDistribution full(pitch, w);
+    const auto res = pf_truncated(pitch, w, 0.531);
+    EXPECT_GT(res.value, 0.0);
+    EXPECT_LE(res.value, 1.0);
+    EXPECT_LE(rel_err(res.value, full.pgf(0.531)), 1e-12) << "w=" << w;
+  }
+  // Extreme tolerances: the certified remainder inequality
+  // (remainder_bound <= rel_tol * value) must hold on exit at both a
+  // loose 1e-4 and a near-machine 1e-15, and the loose answer must agree
+  // with the tight one to within its own certificate.
+  for (double w : {2.0, 60.0, 155.0, 500.0}) {
+    const auto tight = pf_truncated(pitch, w, 0.531, 1e-15);
+    EXPECT_LE(tight.remainder_bound, 1e-15 * tight.value) << "w=" << w;
+    const auto loose = pf_truncated(pitch, w, 0.531, 1e-4);
+    EXPECT_LE(loose.remainder_bound, 1e-4 * loose.value) << "w=" << w;
+    EXPECT_LE(loose.terms, tight.terms);
+    EXPECT_LE(rel_err(loose.value, tight.value), 2e-4) << "w=" << w;
+  }
+}
+
 TEST(PfKernel, GammaQPrefactoredMatchesGammaQ) {
   // The inline prefactored variant must reproduce gamma_q when handed the
   // exact prefactor τ = x^a e^{-x}/Γ(a+1) and the tight tolerance.

@@ -6,9 +6,16 @@ Usage:
   tools/bench_compare.py BEFORE.json AFTER.json [--threshold=0.10]
   tools/bench_compare.py bench/baselines/before bench/baselines/after
   tools/bench_compare.py baseline.json fresh.json --fail-above 300
+  tools/bench_compare.py --stamp RUN.json [RUN2.json ...]
 
 When given directories, files with matching names are compared pairwise
 (benchmarks present on only one side are listed, not compared).
+
+--stamp writes a "host" block (core count, SIMD-relevant CPU flags, the
+CNY_SIMD build setting from the environment) into each named run JSON and
+exits; comparisons surface that block so a diff between runs recorded on
+different hosts is visible in the report instead of masquerading as a
+code change.
 
 Exit status: 1 when --fail-above PCT is given and any benchmark slowed
 down by more than PCT percent (a hard regression gate), or when
@@ -23,7 +30,7 @@ import sys
 
 
 def load_benchmarks(path):
-    """name -> real_time in ns from one benchmark JSON file."""
+    """(name -> real_time in ns, host block or None) from one run JSON."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -33,7 +40,58 @@ def load_benchmarks(path):
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
         out[b["name"]] = b["real_time"] * scale
-    return out
+    return out, data.get("host")
+
+
+def host_metadata():
+    """The recording host, as much of it as the bench numbers depend on:
+    core count, the CPU features the kernel backends dispatch on, and the
+    CNY_SIMD build setting (exported by the recording script; benchmarks
+    cannot see the CMake cache)."""
+    flags = set()
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("flags"):
+                    flags = set(line.split(":", 1)[1].split())
+                    break
+    except OSError:
+        pass
+    interesting = ("sse4_2", "avx", "avx2", "fma", "avx512f")
+    return {
+        "cores": os.cpu_count(),
+        "cpu_flags": [fl for fl in interesting if fl in flags],
+        "cny_simd": os.environ.get("CNY_SIMD", "unknown"),
+    }
+
+
+def format_host(host):
+    flags = "+".join(host.get("cpu_flags", [])) or "none"
+    return (f"{host.get('cores', '?')} core(s), flags {flags}, "
+            f"CNY_SIMD={host.get('cny_simd', 'unknown')}")
+
+
+def stamp_files(paths):
+    meta = host_metadata()
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        data["host"] = meta
+        with open(path, "w") as f:
+            json.dump(data, f, indent=2)
+            f.write("\n")
+        print(f"stamped {path}: {format_host(meta)}")
+
+
+def print_hosts(before_host, after_host):
+    if before_host:
+        print(f"host before: {format_host(before_host)}")
+    if after_host:
+        print(f"host after:  {format_host(after_host)}")
+    if before_host and after_host and before_host != after_host:
+        print("note: the two runs were recorded on different hosts or "
+              "build settings; ratios compare more than the code",
+              file=sys.stderr)
 
 
 def fmt_ns(ns):
@@ -93,8 +151,9 @@ def matching_files(before_dir, after_dir):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("before")
-    parser.add_argument("after")
+    parser.add_argument("paths", nargs="+",
+                        help="BEFORE and AFTER (files or directories), or "
+                             "with --stamp the run JSONs to annotate")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative slowdown that counts as a regression")
     parser.add_argument("--fail-on-regress", action="store_true",
@@ -104,26 +163,39 @@ def main():
                         help="hard gate: exit 1 when any benchmark slows "
                              "down by more than PCT percent (independent of "
                              "--threshold, which only affects reporting)")
+    parser.add_argument("--stamp", action="store_true",
+                        help="write host metadata into each named run JSON "
+                             "and exit instead of comparing")
     args = parser.parse_args()
+
+    if args.stamp:
+        stamp_files(args.paths)
+        return 0
+    if len(args.paths) != 2:
+        parser.error("comparison takes exactly BEFORE and AFTER")
+    before_path, after_path = args.paths
 
     total_regressions = 0
     all_ratios = {}
-    if os.path.isdir(args.before) and os.path.isdir(args.after):
-        for name in matching_files(args.before, args.after):
+    if os.path.isdir(before_path) and os.path.isdir(after_path):
+        for name in matching_files(before_path, after_path):
             print(f"== {name}")
-            rows, regs, ratios = compare(
-                load_benchmarks(os.path.join(args.before, name)),
-                load_benchmarks(os.path.join(args.after, name)),
-                args.threshold)
+            before, before_host = load_benchmarks(
+                os.path.join(before_path, name))
+            after, after_host = load_benchmarks(os.path.join(after_path, name))
+            print_hosts(before_host, after_host)
+            rows, regs, ratios = compare(before, after, args.threshold)
             print_table(rows)
             print()
             total_regressions += regs
             for bench, ratio in ratios.items():
                 all_ratios[f"{name}:{bench}"] = ratio
     else:
+        before, before_host = load_benchmarks(before_path)
+        after, after_host = load_benchmarks(after_path)
+        print_hosts(before_host, after_host)
         rows, total_regressions, all_ratios = compare(
-            load_benchmarks(args.before), load_benchmarks(args.after),
-            args.threshold)
+            before, after, args.threshold)
         print_table(rows)
 
     if total_regressions:

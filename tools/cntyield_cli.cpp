@@ -52,6 +52,11 @@
 // default); thread count only changes wall-clock, never the numbers (those
 // depend on --seed and --streams only). The table/scaling subcommands keep
 // their serial legacy MC loops unchanged.
+// --simd=auto|off (any subcommand) selects the kernel backend: `auto` (the
+// default) uses the AVX2 backend when the build and CPU support it, `off`
+// forces the scalar reference. Like --threads, it only changes wall-clock:
+// every backend is bit-identical to the scalar kernels
+// (docs/architecture.md, "Kernel backends").
 // Without --lib/--design the built-in synthetic nangate45_like library and
 // OpenRISC-like design are used, so every subcommand runs out of the box.
 // `serve` starts the batching yield service of src/service/ on 127.0.0.1;
@@ -79,6 +84,7 @@
 #include "celllib/liberty_lite.h"
 #include "cnt/removal_tradeoff.h"
 #include "exec/thread_pool.h"
+#include "kernels/dispatch.h"
 #include "experiments/fig2_1.h"
 #include "experiments/fig2_2.h"
 #include "experiments/table1.h"
@@ -717,7 +723,7 @@ int cmd_serve(const util::Cli& cli) {
       "shutting down: %llu frames in, %llu responses, %llu errors, "
       "%llu requests over %llu batches, %llu sessions warmed, "
       "%llu connections, %llu overload rejects, %llu deadline sheds, "
-      "%llu faults injected\n",
+      "%llu faults injected, %llu merged kernel hits\n",
       static_cast<unsigned long long>(stats.frames_in),
       static_cast<unsigned long long>(stats.responses),
       static_cast<unsigned long long>(stats.errors),
@@ -727,7 +733,8 @@ int cmd_serve(const util::Cli& cli) {
       static_cast<unsigned long long>(stats.connections),
       static_cast<unsigned long long>(stats.overload_rejects),
       static_cast<unsigned long long>(stats.deadline_sheds),
-      static_cast<unsigned long long>(stats.faults_injected));
+      static_cast<unsigned long long>(stats.faults_injected),
+      static_cast<unsigned long long>(stats.merged_kernel_hits));
   return 0;
 }
 
@@ -856,6 +863,7 @@ int reject_unknown_flags(const util::Cli& cli, const std::string& cmd) {
     return usage();
   }
   for (const auto& name : cli.flag_names()) {
+    if (name == "simd") continue;  // global flag, valid for every command
     if (std::find(it->second.begin(), it->second.end(), name) ==
         it->second.end()) {
       std::fprintf(stderr, "error: unknown flag --%s for '%s'\n",
@@ -876,6 +884,16 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = cli.positional().front();
   if (const int rc = reject_unknown_flags(cli, cmd); rc != 0) return rc;
+  // Global kernel-backend switch (docs/architecture.md, "Kernel backends").
+  // Purely a speed knob: every backend is bit-identical to the scalar
+  // reference, so any command's output is invariant under this flag.
+  if (const std::string simd = cli.get("simd", "auto"); simd == "off") {
+    cny::kernels::set_simd_mode(cny::kernels::SimdMode::Off);
+  } else if (simd != "auto") {
+    std::fprintf(stderr, "error: --simd must be 'auto' or 'off' (got '%s')\n",
+                 simd.c_str());
+    return 2;
+  }
   const experiments::PaperParams params;
   try {
     if (cmd == "pf") return cmd_pf(cli);
