@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <future>
 #include <map>
 #include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "exec/thread_pool.h"
 #include "netlist/design.h"
+#include "obs/metrics.h"
 #include "service/server.h"
 #include "service/session_cache.h"
 #include "yield/flow.h"
@@ -26,6 +30,52 @@ struct Outcome {
   std::string result_json;
   std::string error_code;
   std::string error_message;
+};
+
+/// Progress sidecar writer: one self-contained JSON line per finished
+/// chunk, flushed immediately so `tail -f` (or a dashboard) sees each
+/// checkpoint as it lands. The sidecar is write-only telemetry — resume
+/// reads the store, never this file — so its presence cannot perturb
+/// campaign results.
+class ProgressSidecar {
+ public:
+  explicit ProgressSidecar(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr) {
+      throw std::runtime_error("cannot open progress file '" + path + "'");
+    }
+  }
+  ~ProgressSidecar() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  ProgressSidecar(const ProgressSidecar&) = delete;
+  ProgressSidecar& operator=(const ProgressSidecar&) = delete;
+
+  void chunk_line(std::size_t chunk, std::size_t done, std::size_t pending,
+                  const CampaignStats& stats, std::uint64_t elapsed_ms) {
+    // ETA extrapolates this run's per-point rate over what is left; crude
+    // but monotone inputs make it stable enough for a progress line.
+    const std::uint64_t eta_ms =
+        done == 0 ? 0
+                  : static_cast<std::uint64_t>(
+                        static_cast<double>(elapsed_ms) *
+                        static_cast<double>(pending - done) /
+                        static_cast<double>(done));
+    std::fprintf(
+        file_,
+        "{\"chunk\":%zu,\"done\":%zu,\"pending\":%zu,\"evaluated\":%zu,"
+        "\"failed\":%zu,\"skipped\":%zu,\"retry_rounds\":%llu,"
+        "\"sessions_built\":%llu,\"elapsed_ms\":%llu,\"eta_ms\":%llu}\n",
+        chunk, done, pending, stats.evaluated, stats.failed, stats.skipped,
+        static_cast<unsigned long long>(stats.retry_rounds),
+        static_cast<unsigned long long>(stats.sessions_built),
+        static_cast<unsigned long long>(elapsed_ms),
+        static_cast<unsigned long long>(eta_ms));
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
 };
 
 /// The server's evaluate_group without the sockets: one warm session per
@@ -117,7 +167,8 @@ bool classify_response(std::string bytes, Outcome& out, std::string& code,
 void evaluate_chunk_service(const std::vector<const CompiledPoint*>& chunk,
                             std::vector<Outcome>& outcomes,
                             service::YieldServer& server,
-                            const service::RetryPolicy& retry) {
+                            const service::RetryPolicy& retry,
+                            std::uint64_t& retry_rounds) {
   // Round-based retry: every unresolved point is submitted together (so
   // the server still coalesces the chunk into batches), the transient
   // failures go again next round after one backoff sleep. Retrying is
@@ -159,6 +210,7 @@ void evaluate_chunk_service(const std::vector<const CompiledPoint*>& chunk,
                          std::to_string(max_attempts) +
                          " attempt(s); last failure: " + last_message);
     }
+    retry_rounds += 1;  // points remain open: the next round is a retry
     std::this_thread::sleep_for(
         std::chrono::milliseconds(retry.backoff_ms(attempt)));
   }
@@ -193,6 +245,7 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
       server_options.cache_capacity = options.cache_capacity;
       server_options.interpolant_knots = options.interpolant_knots;
       server_options.fault_plan = options.fault_plan;
+      server_options.trace_sink = options.trace_sink;
       // evaluate_chunk_service submits a whole chunk at once; the admission
       // queue must admit it, or an oversized chunk would deterministically
       // draw server_overloaded rejections and burn the retry budget meant
@@ -205,9 +258,21 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
       cache = std::make_unique<service::SessionCache>(
           options.cache_capacity, options.interpolant_knots,
           options.n_threads);
+      // Direct-path sessions report into the process-wide registry (the
+      // server path has its own per-server one) and trace through the
+      // campaign's sink.
+      cache->attach_observability(&obs::Registry::global(),
+                                  options.trace_sink.get());
     }
   }
 
+  std::unique_ptr<ProgressSidecar> sidecar;
+  if (!options.progress_path.empty()) {
+    sidecar = std::make_unique<ProgressSidecar>(options.progress_path);
+  }
+
+  const auto run_start = std::chrono::steady_clock::now();
+  std::size_t chunk_index = 0;
   std::size_t done = 0;
   while (done < pending.size()) {
     if (options.interrupted && options.interrupted()) {
@@ -219,8 +284,13 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
         pending.begin() + static_cast<std::ptrdiff_t>(done),
         pending.begin() + static_cast<std::ptrdiff_t>(done + n));
     std::vector<Outcome> outcomes(chunk.size());
+    obs::Span chunk_span(options.trace_sink.get(), "campaign.chunk",
+                         "campaign");
+    chunk_span.arg("chunk", std::to_string(chunk_index));
+    chunk_span.arg("points", std::to_string(n));
     if (server != nullptr) {
-      evaluate_chunk_service(chunk, outcomes, *server, options.retry);
+      evaluate_chunk_service(chunk, outcomes, *server, options.retry,
+                             stats.retry_rounds);
     } else {
       // Group by session key so each warm corner is evaluated once per
       // chunk; std::map iteration keeps the group order deterministic.
@@ -252,6 +322,18 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
       store.append(std::move(record));
     }
     done += n;
+    chunk_span.finish();
+    chunk_index += 1;
+    stats.sessions_built = server != nullptr ? server->stats().sessions_built
+                                             : cache->sessions_built();
+    if (sidecar != nullptr) {
+      sidecar->chunk_line(
+          chunk_index, done, pending.size(), stats,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - run_start)
+                  .count()));
+    }
     if (options.progress) options.progress(done, pending.size());
   }
 

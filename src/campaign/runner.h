@@ -36,10 +36,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "campaign/spec.h"
 #include "campaign/store.h"
+#include "obs/trace.h"
 #include "service/client.h"
 #include "service/faults.h"
 
@@ -74,6 +76,18 @@ struct RunnerOptions {
   /// chaos campaign in CI runs the real store path through injected
   /// drops/delays/rejects. Null = clean server.
   std::shared_ptr<service::FaultPlan> fault_plan;
+  /// Progress sidecar: when non-empty, one JSON line is appended here
+  /// after every chunk ({"chunk","done","pending","evaluated","failed",
+  /// "skipped","retry_rounds","sessions_built","elapsed_ms","eta_ms"}) —
+  /// a watcher tails it without touching the store. The sidecar is a
+  /// separate file the resume path never reads, so it cannot perturb
+  /// store bytes (pinned in tests).
+  std::string progress_path;
+  /// Trace sink for campaign spans ("campaign.chunk" per chunk, plus the
+  /// full server/session span set on whichever path runs). Null = off;
+  /// either way the store is byte-identical (the zero-perturbation
+  /// contract).
+  std::shared_ptr<obs::TraceSink> trace_sink;
 };
 
 struct CampaignStats {
@@ -82,6 +96,10 @@ struct CampaignStats {
   std::size_t evaluated = 0;  ///< successful flow evaluations this run
   std::size_t failed = 0;     ///< error records appended this run
   std::uint64_t sessions_built = 0;  ///< cache misses (model warm-ups)
+  /// Retry rounds beyond each chunk's first submission (via_service only):
+  /// how hard the transient-failure retry loop had to work. 0 on a clean
+  /// run.
+  std::uint64_t retry_rounds = 0;
   bool interrupted = false;   ///< stopped at a checkpoint before finishing
 };
 

@@ -4,10 +4,38 @@
 #include <exception>
 #include <latch>
 
+#include "obs/metrics.h"
+
 namespace cny::exec {
 
 namespace {
 thread_local bool t_on_worker = false;
+
+/// Process-wide pool metrics (obs::Registry::global(), "exec." prefix):
+/// queue depth and busy/live worker gauges answer "is the pool the
+/// bottleneck" from a stats frame. References resolved once; every update
+/// is a relaxed atomic add next to a mutex the pool already takes.
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Gauge& workers_busy;
+  obs::Gauge& workers_live;
+  obs::Counter& tasks_posted;
+  obs::Counter& tasks_executed;
+  obs::Counter& parallel_for_calls;
+  obs::Counter& parallel_for_inline;
+};
+
+PoolMetrics& metrics() {
+  static auto& registry = obs::Registry::global();
+  static PoolMetrics m{registry.gauge("exec.queue_depth"),
+                       registry.gauge("exec.workers_busy"),
+                       registry.gauge("exec.workers_live"),
+                       registry.counter("exec.tasks_posted"),
+                       registry.counter("exec.tasks_executed"),
+                       registry.counter("exec.parallel_for_calls"),
+                       registry.counter("exec.parallel_for_inline")};
+  return m;
+}
 }  // namespace
 
 unsigned hardware_threads() {
@@ -37,6 +65,8 @@ void ThreadPool::post(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  metrics().tasks_posted.add(1);
+  metrics().queue_depth.add(1);
   cv_.notify_one();
 }
 
@@ -51,8 +81,10 @@ void parallel_for(std::size_t n, unsigned n_threads,
                   const std::function<void(std::size_t)>& body,
                   ThreadPool* pool) {
   if (n == 0) return;
+  metrics().parallel_for_calls.add(1);
   const unsigned threads = n_threads == 0 ? hardware_threads() : n_threads;
   if (threads <= 1 || n == 1 || ThreadPool::on_worker_thread()) {
+    metrics().parallel_for_inline.add(1);
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -89,16 +121,25 @@ void parallel_for(std::size_t n, unsigned n_threads,
 
 void ThreadPool::worker_loop() {
   t_on_worker = true;
+  PoolMetrics& m = metrics();  // global registry is never destroyed
+  m.workers_live.add(1);
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      if (queue_.empty()) {
+        m.workers_live.add(-1);
+        return;  // stop_ set and nothing left to drain
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    m.queue_depth.add(-1);
+    m.workers_busy.add(1);
     task();
+    m.workers_busy.add(-1);
+    m.tasks_executed.add(1);
   }
 }
 

@@ -5,9 +5,37 @@
 #include "cnt/pf_kernel_internal.h"
 #include "kernels/dispatch.h"
 #include "kernels/pf_batch_impl.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 
 namespace cny::kernels {
+
+namespace {
+
+/// Lane-occupancy accounting (obs::Registry::global(), "kernels." prefix):
+/// simd_lanes / (4 * simd_flushes) is the packed-lane fill rate, and
+/// simd_lanes vs scalar_widths shows how much of the batch volume actually
+/// rides the vector path. A few relaxed adds per *batch call* — the
+/// per-width term loops are untouched.
+struct BatchMetrics {
+  obs::Counter& calls;
+  obs::Counter& widths;
+  obs::Counter& simd_flushes;
+  obs::Counter& simd_lanes;
+  obs::Counter& scalar_widths;
+};
+
+BatchMetrics& metrics() {
+  static auto& registry = obs::Registry::global();
+  static BatchMetrics m{registry.counter("kernels.pf_batch_calls"),
+                        registry.counter("kernels.pf_batch_widths"),
+                        registry.counter("kernels.pf_simd_flushes"),
+                        registry.counter("kernels.pf_simd_lanes"),
+                        registry.counter("kernels.pf_scalar_widths")};
+  return m;
+}
+
+}  // namespace
 
 std::vector<cnt::PfKernelResult> pf_truncated_batch(
     const cnt::PitchModel& pitch, std::span<const double> widths, double z,
@@ -18,6 +46,8 @@ std::vector<cnt::PfKernelResult> pf_truncated_batch(
 
   std::vector<cnt::PfKernelResult> out(widths.size());
   if (widths.empty()) return out;
+  metrics().calls.add(1);
+  metrics().widths.add(widths.size());
 
   // The degenerate answers short-circuit exactly as in pf_truncated; every
   // other width gets a grid — the identical scalar setup both backends
@@ -44,6 +74,8 @@ std::vector<cnt::PfKernelResult> pf_truncated_batch(
     std::vector<std::size_t> lane_idx;
     const auto flush = [&] {
       if (lane_grids.size() >= 2) {
+        metrics().simd_flushes.add(1);
+        metrics().simd_lanes.add(lane_grids.size());
         cnt::PfKernelResult results[4];
         detail::pf_terms_avx2(lane_grids.data(),
                               static_cast<int>(lane_grids.size()), z, rel_tol,
@@ -52,6 +84,7 @@ std::vector<cnt::PfKernelResult> pf_truncated_batch(
           out[lane_idx[l]] = results[l];
         }
       } else {
+        metrics().scalar_widths.add(lane_idx.size());
         for (const std::size_t i : lane_idx) {
           out[i] = cnt::detail::pf_terms_scalar(grids[i], z, rel_tol);
         }
@@ -61,6 +94,7 @@ std::vector<cnt::PfKernelResult> pf_truncated_batch(
     };
     for (const std::size_t i : pending) {
       if (!grids[i].prefactored) {
+        metrics().scalar_widths.add(1);
         out[i] = cnt::detail::pf_terms_scalar(grids[i], z, rel_tol);
         continue;
       }
@@ -73,6 +107,7 @@ std::vector<cnt::PfKernelResult> pf_truncated_batch(
   }
 #endif
 
+  metrics().scalar_widths.add(pending.size());
   for (const std::size_t i : pending) {
     out[i] = cnt::detail::pf_terms_scalar(grids[i], z, rel_tol);
   }

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+
+namespace cny::obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) return static_cast<double>(max);
+  // The (1-based) rank of the requested observation, then a scan for the
+  // bucket holding it. Within the bucket the observations are assumed
+  // uniform — a one-bucket error bound, which log2 buckets keep to 2x.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t here = buckets[b];
+    if (here == 0) continue;
+    if (static_cast<double>(seen + here) >= rank) {
+      const auto [lo, hi] = Histogram::bucket_bounds(b);
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(here);
+      const double value =
+          static_cast<double>(lo) +
+          within * static_cast<double>(hi - lo);
+      // The exact max caps the estimate: the top bucket's nominal upper
+      // bound can exceed anything actually observed.
+      return value > static_cast<double>(max) ? static_cast<double>(max)
+                                              : value;
+    }
+    seen += here;
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    out.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Histogram::bucket_bounds(
+    unsigned bucket) {
+  if (bucket == 0) return {0, 0};
+  const std::uint64_t lo = std::uint64_t{1} << (bucket - 1);
+  const std::uint64_t hi =
+      bucket >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << bucket) - 1;
+  return {lo, hi};
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.find(name) != gauges_.end() ||
+      histograms_.find(name) != histograms_.end()) {
+    throw std::logic_error("obs::Registry: metric '" + std::string(name) +
+                           "' already exists as another kind");
+  }
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  auto& slot = counters_[std::string(name)];
+  slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.find(name) != counters_.end() ||
+      histograms_.find(name) != histograms_.end()) {
+    throw std::logic_error("obs::Registry: metric '" + std::string(name) +
+                           "' already exists as another kind");
+  }
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  auto& slot = gauges_[std::string(name)];
+  slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.find(name) != counters_.end() ||
+      gauges_.find(name) != gauges_.end()) {
+    throw std::logic_error("obs::Registry: metric '" + std::string(name) +
+                           "' already exists as another kind");
+  }
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  auto& slot = histograms_[std::string(name)];
+  slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, metric] : counters_) {
+    out.counters.emplace_back(name, metric->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, metric] : gauges_) {
+    out.gauges.emplace_back(name, metric->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    out.histograms.emplace_back(name, metric->snapshot());
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: pool workers and kernel call sites may update
+  // metrics during static destruction (the shared ThreadPool drains at
+  // exit); a destroyed registry there would be a use-after-free.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace cny::obs

@@ -87,7 +87,7 @@ YieldClient::~YieldClient() {
 YieldClient::YieldClient(YieldClient&& other) noexcept
     : loopback_(other.loopback_), fd_(other.fd_),
       timeout_ms_(other.timeout_ms_), host_(std::move(other.host_)),
-      port_(other.port_), retry_(other.retry_) {
+      port_(other.port_), retry_(other.retry_), trace_(other.trace_) {
   other.loopback_ = nullptr;
   other.fd_ = -1;
 }
@@ -161,6 +161,11 @@ Frame YieldClient::request_reply(const std::string& frame,
                          retry_.deadline_ms > 0 ? retry_.deadline_ms
                                                 : std::uint64_t{0});
   for (unsigned attempt = 1;; ++attempt) {
+    // One span per attempt (inert when no sink): makes a client's retry
+    // ladder — each attempt's duration and outcome — visible next to the
+    // server-side spans in the same trace.
+    obs::Span span(trace_, "client.attempt", "client");
+    span.arg("attempt", std::to_string(attempt));
     try {
       Frame response = exchange(frame);
       if (response.type == FrameType::Error) {
@@ -177,8 +182,11 @@ Frame YieldClient::request_reply(const std::string& frame,
                          e.what());
         }
       }
+      span.arg("outcome", "ok");
       return response;
     } catch (const ServiceError& e) {
+      span.arg("outcome", e.code());
+      span.finish();
       if (!e.transient() || attempt >= max_attempts) throw;
       const unsigned backoff = retry_.backoff_ms(attempt);
       if (retry_.deadline_ms > 0 &&
@@ -214,6 +222,17 @@ std::string YieldClient::ping() {
                     /*check_payload=*/false);
   if (response.type != FrameType::Pong) {
     throw ServiceError("unexpected_frame", "ping was not answered with pong");
+  }
+  return response.payload;
+}
+
+std::string YieldClient::stats() {
+  const Frame response =
+      request_reply(encode_frame(FrameType::Stats, "{}"),
+                    /*check_payload=*/false);
+  if (response.type != FrameType::StatsReply) {
+    throw ServiceError("unexpected_frame",
+                       "stats was not answered with a stats reply");
   }
   return response.payload;
 }

@@ -28,6 +28,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
 #include "service/protocol.h"
 
 namespace cny::service {
@@ -103,6 +104,18 @@ class YieldClient {
   /// Liveness probe; returns the server's version payload (JSON text).
   [[nodiscard]] std::string ping();
 
+  /// Metrics snapshot: sends a Stats frame and returns the StatsReply's
+  /// canonical-JSON payload (the same shape ping() carries — see
+  /// YieldServer::stats_json()). Retried like ping().
+  [[nodiscard]] std::string stats();
+
+  /// Attaches a trace sink (null = off): every call()/ping()/stats()
+  /// attempt emits a "client.attempt" span with its attempt number and
+  /// outcome, so a trace shows the retry schedule next to the server-side
+  /// spans. Observational only — never changes retry behaviour. The sink
+  /// must outlive the client.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Asks the server to shut down cleanly; returns once acknowledged.
   void shutdown_server();
 
@@ -126,6 +139,7 @@ class YieldClient {
   std::string host_;
   std::uint16_t port_ = 0;
   RetryPolicy retry_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace cny::service

@@ -78,7 +78,9 @@ FrameHeader decode_header(std::string_view header) {
     case FrameType::Error:
     case FrameType::Ping:
     case FrameType::Pong:
-    case FrameType::Shutdown: break;
+    case FrameType::Shutdown:
+    case FrameType::Stats:
+    case FrameType::StatsReply: break;
     default: fail("unknown frame type " + std::to_string(type));
   }
   out.type = static_cast<FrameType>(type);
@@ -187,6 +189,12 @@ Json to_json(const FlowRequest& request) {
   if (request.deadline_ms > 0) {
     v.set("deadline_ms", Json::number(request.deadline_ms));
   }
+  // Same trick for the trace id: omitted when empty, so untraced payloads
+  // are byte-identical to their 0.3.0 form and campaign request keys
+  // (FNV over this JSON) never move when tracing is switched on.
+  if (!request.trace_id.empty()) {
+    v.set("trace_id", Json::string(request.trace_id));
+  }
   return v;
 }
 
@@ -260,6 +268,9 @@ FlowRequest flow_request_from_json(const Json& v) {
     request.params = flow_params_from_json(v.at("params"));
     if (const Json* d = v.find("deadline_ms")) {
       request.deadline_ms = d->as_u64();
+    }
+    if (const Json* t = v.find("trace_id")) {
+      request.trace_id = t->as_string();
     }
     return request;
   } catch (const JsonError& e) {
@@ -369,6 +380,13 @@ void validate(const FlowRequest& request) {
         "p_remove_s must be in [0, 1)");
   check(request.deadline_ms <= 86'400'000,
         "deadline_ms must be <= 86400000 (one day; 0 = no deadline)");
+  check(request.trace_id.size() <= 64,
+        "trace_id must be <= 64 characters (empty = untraced)");
+  for (const char c : request.trace_id) {
+    check((c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+              (c >= 'A' && c <= 'Z') || c == '.' || c == '_' || c == '-',
+          "trace_id must be [0-9A-Za-z._-]");
+  }
   // A CNT that can never fail makes p_F identically 0 and W_min undefined.
   check(p.p_metallic + (1.0 - p.p_metallic) * p.p_remove_s > 0.0,
         "process has zero per-CNT failure probability");

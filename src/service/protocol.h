@@ -37,6 +37,17 @@
 // help; deterministic outcomes). The field is omitted when absent, so a
 // deadline-less request payload is byte-identical to its 0.2.0 form —
 // only the header version differs (pinned in tests).
+//
+// Protocol v4 (0.4.0) adds observability: a FlowRequest may carry an
+// optional "trace_id" field (an opaque client-chosen token <= 64 chars of
+// [0-9A-Za-z._-]; the server attaches it to every span the request
+// produces, see obs/trace.h), and a Stats frame is answered with a
+// StatsReply carrying the server's canonical-JSON metrics snapshot — the
+// same payload Pong carries, so `--ping` and `stats` read one format.
+// trace_id is omitted when empty, so an untraced request payload is
+// byte-identical to its 0.3.0 form (pinned in tests) and campaign FNV
+// request keys never see trace ids. Responses carry no trace fields at
+// all: tracing cannot perturb a single response byte.
 #pragma once
 
 #include <cstdint>
@@ -53,9 +64,10 @@ namespace cny::service {
 /// carries kProtocolVersion and `cntyield_cli --version` prints both.
 /// v2: scenario fields (ShortFailure / FiniteLength / RemovalFrontier).
 /// v3: optional per-request deadline + transient/terminal error taxonomy.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: optional per-request trace id + Stats/StatsReply frames.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 /// Human-readable release string the protocol version ships in.
-inline constexpr const char kVersionString[] = "0.3.0";
+inline constexpr const char kVersionString[] = "0.4.0";
 
 /// A frame violating the wire format (bad magic/version/type, oversized or
 /// truncated payload, payload that is not valid JSON of the right shape, or
@@ -72,6 +84,8 @@ enum class FrameType : std::uint32_t {
   Ping = 4,          ///< client -> server: liveness / version probe
   Pong = 5,          ///< server -> client: {"version","protocol"}
   Shutdown = 6,      ///< client -> server: clean shutdown (acked with Pong)
+  Stats = 7,         ///< client -> server: metrics snapshot request
+  StatsReply = 8,    ///< server -> client: canonical-JSON metrics snapshot
 };
 
 inline constexpr std::size_t kHeaderBytes = 16;
@@ -122,6 +136,12 @@ struct FlowRequest {
   /// the field is omitted from the wire, keeping the payload byte-
   /// identical to its 0.2.0 form.
   std::uint64_t deadline_ms = 0;
+  /// Opaque trace token the server stamps onto this request's spans
+  /// (obs/trace.h). Purely observational: it never influences evaluation
+  /// or the response. Empty = untraced — the field is omitted from the
+  /// wire, keeping the payload byte-identical to its 0.3.0 form (and the
+  /// campaign FNV request keys stable across the bump).
+  std::string trace_id;
 };
 
 struct ServiceErrorInfo {

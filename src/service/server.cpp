@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "util/contracts.h"
 #include "yield/flow.h"
 
@@ -38,15 +39,52 @@ std::future<std::string> ready_future(std::string frame) {
   return promise.get_future();
 }
 
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 struct YieldServer::Impl {
   explicit Impl(ServerOptions opts)
-      : options(opts),
-        cache(opts.cache_capacity, opts.interpolant_knots, opts.n_threads) {}
+      : options(std::move(opts)),
+        cache(options.cache_capacity, options.interpolant_knots,
+              options.n_threads) {
+    cache.attach_observability(&registry, trace());
+  }
 
   ServerOptions options;
+
+  // Per-server metrics registry — ServerStats is a view over it (every
+  // bump below is one relaxed atomic add; the old stats mutex is gone).
+  // Counter references are resolved once here; the session-built metrics
+  // ("sessions_built", "session_warm_us", "interpolant_build_us") are
+  // registered by cache.attach_observability in the ctor.
+  obs::Registry registry;
+  obs::Counter& c_frames_in = registry.counter("frames_in");
+  obs::Counter& c_responses = registry.counter("responses");
+  obs::Counter& c_errors = registry.counter("errors");
+  obs::Counter& c_batches = registry.counter("batches");
+  obs::Counter& c_batched_requests = registry.counter("batched_requests");
+  obs::Counter& c_connections = registry.counter("connections");
+  obs::Counter& c_overload_rejects = registry.counter("overload_rejects");
+  obs::Counter& c_deadline_sheds = registry.counter("deadline_sheds");
+  obs::Counter& c_faults_injected = registry.counter("faults_injected");
+  obs::Counter& c_merged_kernel_hits = registry.counter("merged_kernel_hits");
+  obs::Gauge& g_queue_depth = registry.gauge("queue_depth");
+  obs::Histogram& h_queue_wait = registry.histogram("queue_wait_us");
+  obs::Histogram& h_evaluate = registry.histogram("evaluate_us");
+  obs::Histogram& h_serialize = registry.histogram("serialize_us");
+  obs::Histogram& h_kernel_batch = registry.histogram("kernel_batch_us");
+
   SessionCache cache;
+
+  [[nodiscard]] obs::TraceSink* trace() const {
+    return options.trace_sink.get();
+  }
 
   struct Pending {
     FlowRequest request;
@@ -82,52 +120,74 @@ struct YieldServer::Impl {
   int listen_fd = -1;
   std::uint16_t bound_port = 0;
 
-  mutable std::mutex stats_mutex;
-  ServerStats stats;
-
-  void bump(std::uint64_t ServerStats::* counter, std::uint64_t by = 1) {
-    const std::lock_guard<std::mutex> lock(stats_mutex);
-    stats.*counter += by;
-  }
-
   ServerStats stats_snapshot() const {
     ServerStats out;
-    {
-      const std::lock_guard<std::mutex> lock(stats_mutex);
-      out = stats;
-    }
+    out.frames_in = c_frames_in.value();
+    out.responses = c_responses.value();
+    out.errors = c_errors.value();
+    out.batches = c_batches.value();
+    out.batched_requests = c_batched_requests.value();
     out.sessions_built = cache.sessions_built();
+    out.connections = c_connections.value();
+    out.overload_rejects = c_overload_rejects.value();
+    out.deadline_sheds = c_deadline_sheds.value();
+    out.faults_injected = c_faults_injected.value();
+    out.merged_kernel_hits = c_merged_kernel_hits.value();
     return out;
   }
 
-  /// Pong payload: version, protocol, and a live counters snapshot — the
-  /// `--ping` health probe doubles as the stats endpoint, so an operator
-  /// can watch overload_rejects / deadline_sheds / faults_injected move
-  /// without a second wire format.
-  std::string pong_payload() const {
-    const ServerStats s = stats_snapshot();
+  /// The canonical-JSON metrics snapshot every stats consumer shares:
+  /// Pong carries it (the `--ping` health probe doubles as the stats
+  /// endpoint), StatsReply carries it, serve's shutdown log prints it.
+  /// "stats" holds this server's counters (registry enumeration, so a
+  /// counter added tomorrow appears without touching this function),
+  /// "gauges"/"histograms" its levels and per-stage latencies, and
+  /// "process" the process-wide exec.*/kernels.* metrics.
+  std::string stats_payload() const {
+    const obs::MetricsSnapshot own = registry.snapshot();
+    const obs::MetricsSnapshot process = obs::Registry::global().snapshot();
     Json v = Json::object();
     v.set("version", Json::string(kVersionString));
     v.set("protocol", Json::number(std::uint64_t{kProtocolVersion}));
     Json counters = Json::object();
-    counters.set("frames_in", Json::number(s.frames_in));
-    counters.set("responses", Json::number(s.responses));
-    counters.set("errors", Json::number(s.errors));
-    counters.set("batches", Json::number(s.batches));
-    counters.set("batched_requests", Json::number(s.batched_requests));
-    counters.set("sessions_built", Json::number(s.sessions_built));
-    counters.set("connections", Json::number(s.connections));
-    counters.set("overload_rejects", Json::number(s.overload_rejects));
-    counters.set("deadline_sheds", Json::number(s.deadline_sheds));
-    counters.set("faults_injected", Json::number(s.faults_injected));
-    counters.set("merged_kernel_hits", Json::number(s.merged_kernel_hits));
+    for (const auto& [name, value] : own.counters) {
+      counters.set(name, Json::number(value));
+    }
     v.set("stats", std::move(counters));
+    Json gauges = Json::object();
+    for (const auto& [name, value] : own.gauges) {
+      gauges.set(name, Json::number(static_cast<double>(value)));
+    }
+    v.set("gauges", std::move(gauges));
+    Json histograms = Json::object();
+    for (const auto& [name, h] : own.histograms) {
+      Json entry = Json::object();
+      entry.set("count", Json::number(h.count));
+      entry.set("mean_us", Json::number(h.mean()));
+      entry.set("p50_us", Json::number(h.quantile(0.5)));
+      entry.set("p95_us", Json::number(h.quantile(0.95)));
+      entry.set("max_us", Json::number(h.max));
+      histograms.set(name, std::move(entry));
+    }
+    v.set("histograms", std::move(histograms));
+    Json proc = Json::object();
+    Json proc_counters = Json::object();
+    for (const auto& [name, value] : process.counters) {
+      proc_counters.set(name, Json::number(value));
+    }
+    proc.set("counters", std::move(proc_counters));
+    Json proc_gauges = Json::object();
+    for (const auto& [name, value] : process.gauges) {
+      proc_gauges.set(name, Json::number(static_cast<double>(value)));
+    }
+    proc.set("gauges", std::move(proc_gauges));
+    v.set("process", std::move(proc));
     return v.dump();
   }
 
   std::future<std::string> error_now(std::string_view code,
                                      std::string_view message) {
-    bump(&ServerStats::errors);
+    c_errors.add(1);
     return ready_future(encode_error(code, message));
   }
 
@@ -154,6 +214,7 @@ struct YieldServer::Impl {
           batch.push_back(std::move(queue.front()));
           queue.pop_front();
         }
+        g_queue_depth.add(-static_cast<std::int64_t>(n));
         in_flight = !batch.empty();
       }
       if (!batch.empty()) process_batch(batch);
@@ -184,14 +245,28 @@ struct YieldServer::Impl {
     indices.reserve(all_indices.size());
     for (const std::size_t index : all_indices) {
       Pending& pending = batch[index];
+      // Queue wait is measurement only (one histogram add; a span when
+      // tracing) — computed from the arrival timestamp the admission path
+      // already records for deadlines, so tracing adds no clock reads the
+      // untraced server doesn't make.
+      const std::uint64_t wait_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - pending.arrival)
+              .count());
+      h_queue_wait.observe(wait_ns / 1000);
+      if (obs::TraceSink* sink = trace()) {
+        std::vector<std::pair<std::string, std::string>> args;
+        if (!pending.request.trace_id.empty()) {
+          args.emplace_back("trace_id", pending.request.trace_id);
+        }
+        sink->complete("queue_wait", "server",
+                       sink->since_origin_ns(pending.arrival), wait_ns, args);
+      }
       const std::uint64_t deadline = pending.request.deadline_ms;
       if (deadline > 0 &&
           now >= pending.arrival + std::chrono::milliseconds(deadline)) {
-        {
-          const std::lock_guard<std::mutex> lock(stats_mutex);
-          stats.errors += 1;
-          stats.deadline_sheds += 1;
-        }
+        c_errors.add(1);
+        c_deadline_sheds.add(1);
         pending.promise.set_value(encode_error(
             "deadline_exceeded",
             "deadline of " + std::to_string(deadline) +
@@ -206,7 +281,7 @@ struct YieldServer::Impl {
       session = cache.acquire(session_key(batch[indices.front()].request));
     } catch (const std::exception& e) {
       for (const std::size_t index : indices) {
-        bump(&ServerStats::errors);
+        c_errors.add(1);
         batch[index].promise.set_value(
             encode_error("internal_error", e.what()));
       }
@@ -257,14 +332,17 @@ struct YieldServer::Impl {
       std::sort(widths.begin(), widths.end());
       widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
       if (requested > widths.size()) {
+        obs::Span span(trace(), "kernel_batch", "server");
+        span.arg("widths", std::to_string(widths.size()));
+        const auto k0 = std::chrono::steady_clock::now();
         try {
           (void)session->model().p_f_exact_batch(widths);
-          bump(&ServerStats::merged_kernel_hits,
-               requested - widths.size());
+          c_merged_kernel_hits.add(requested - widths.size());
         } catch (const std::exception&) {
           // Pure warm-up: a failing width fails its own job below, with
           // that job's error frame.
         }
+        h_kernel_batch.observe(us_since(k0));
       }
     }
     // Job-indexed slots + per-job determinism: scheduling cannot change
@@ -272,29 +350,42 @@ struct YieldServer::Impl {
     // capture so one bad request never poisons its batch).
     exec::parallel_for(indices.size(), options.n_threads, [&](std::size_t i) {
       if (failed[i]) return;
-      yield::FlowParams params = batch[indices[i]].request.params;
+      const FlowRequest& request = batch[indices[i]].request;
+      yield::FlowParams params = request.params;
       // Server-side scheduling knob; invariant on the results.
       params.n_threads = options.n_threads;
       try {
-        frames[i] = encode_flow_response(yield::run_flow(
-            session->library(), *designs[i], session->model(), params));
+        yield::FlowResult result;
+        {
+          obs::Span span(trace(), "evaluate", "server");
+          if (!request.trace_id.empty()) {
+            span.arg("trace_id", request.trace_id);
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          result = yield::run_flow(session->library(), *designs[i],
+                                   session->model(), params);
+          h_evaluate.observe(us_since(t0));
+        }
+        obs::Span span(trace(), "serialize", "server");
+        if (!request.trace_id.empty()) span.arg("trace_id", request.trace_id);
+        const auto s0 = std::chrono::steady_clock::now();
+        frames[i] = encode_flow_response(result);
+        h_serialize.observe(us_since(s0));
       } catch (const std::exception& e) {
         frames[i] = encode_error("evaluation_failed", e.what());
         failed[i] = 1;
       }
     });
     // Count before publishing: a client woken by set_value must see its
-    // own request in the stats.
-    {
-      const std::lock_guard<std::mutex> lock(stats_mutex);
-      stats.batches += 1;
-      stats.batched_requests += indices.size();
-      for (std::size_t i = 0; i < indices.size(); ++i) {
-        if (failed[i]) {
-          stats.errors += 1;
-        } else {
-          stats.responses += 1;
-        }
+    // own request in the stats (the relaxed adds are sequenced before the
+    // promise's release, so the waking future observes them).
+    c_batches.add(1);
+    c_batched_requests.add(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      if (failed[i]) {
+        c_errors.add(1);
+      } else {
+        c_responses.add(1);
       }
     }
     for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -324,7 +415,7 @@ struct YieldServer::Impl {
       if (r <= 0) continue;
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
-      bump(&ServerStats::connections);
+      c_connections.add(1);
       io_pool->post([this, fd] { serve_connection(fd); });
     }
   }
@@ -372,7 +463,7 @@ struct YieldServer::Impl {
       } catch (const ProtocolError& e) {
         // Framing can't be trusted past a bad header: answer and close.
         write_all(fd, encode_error("bad_frame", e.what()));
-        bump(&ServerStats::errors);
+        c_errors.add(1);
         break;
       }
       frame.resize(kHeaderBytes + header.payload_size);
@@ -387,10 +478,10 @@ struct YieldServer::Impl {
         fault = options.fault_plan->next();
       }
       if (fault) {
-        bump(&ServerStats::faults_injected);
+        c_faults_injected.add(1);
         if (fault->kind == FaultKind::DropBeforeResponse) break;
         if (fault->kind == FaultKind::TransientReject) {
-          bump(&ServerStats::errors);
+          c_errors.add(1);
           if (!write_all(fd, encode_error(fault->error_code,
                                           "injected transient fault"))) {
             break;
@@ -418,7 +509,7 @@ struct YieldServer::Impl {
   // --- protocol entry (shared by loopback and TCP) -----------------------
 
   std::future<std::string> submit_frame(std::string frame) {
-    bump(&ServerStats::frames_in);
+    c_frames_in.add(1);
     Frame decoded;
     try {
       decoded = decode_frame(frame);
@@ -427,20 +518,27 @@ struct YieldServer::Impl {
     }
     switch (decoded.type) {
       case FrameType::Ping:
-        return ready_future(encode_frame(FrameType::Pong, pong_payload()));
+        return ready_future(encode_frame(FrameType::Pong, stats_payload()));
+      case FrameType::Stats:
+        return ready_future(
+            encode_frame(FrameType::StatsReply, stats_payload()));
       case FrameType::Shutdown: {
         {
           const std::lock_guard<std::mutex> lock(shutdown_mutex);
           shutdown_requested = true;
         }
         shutdown_cv.notify_all();
-        return ready_future(encode_frame(FrameType::Pong, pong_payload()));
+        return ready_future(encode_frame(FrameType::Pong, stats_payload()));
       }
       case FrameType::FlowRequest: break;
       default:
         return error_now("unexpected_frame",
                          "frame type is not a request the server accepts");
     }
+    // The admission span covers parse + validate + enqueue — where an
+    // overloaded server spends a request's only server-side time before
+    // rejecting it.
+    obs::Span admission(trace(), "admission", "server");
     FlowRequest request;
     try {
       request = flow_request_from_json(Json::parse(decoded.payload));
@@ -448,6 +546,7 @@ struct YieldServer::Impl {
     } catch (const std::exception& e) {
       return error_now("bad_request", e.what());
     }
+    if (!request.trace_id.empty()) admission.arg("trace_id", request.trace_id);
     std::future<std::string> future;
     {
       const std::lock_guard<std::mutex> lock(queue_mutex);
@@ -460,7 +559,7 @@ struct YieldServer::Impl {
         // Bounded admission: reject *now* with a transient code rather
         // than queueing without bound. The caller's retry policy backs
         // off and resubmits; server memory stays bounded under overload.
-        bump(&ServerStats::overload_rejects);
+        c_overload_rejects.add(1);
         return error_now("server_overloaded",
                          "admission queue is full (" +
                              std::to_string(options.max_queue) +
@@ -471,6 +570,7 @@ struct YieldServer::Impl {
       pending.arrival = std::chrono::steady_clock::now();
       future = pending.promise.get_future();
       queue.push_back(std::move(pending));
+      g_queue_depth.add(1);
     }
     queue_cv.notify_one();
     return future;
@@ -546,6 +646,7 @@ void YieldServer::stop() {
           encode_error("shutting_down", "server stopped"));
     }
     impl.queue.clear();
+    impl.g_queue_depth.set(0);
   }
   if (impl.acceptor.joinable()) impl.acceptor.join();
   impl.io_pool.reset();
@@ -593,12 +694,12 @@ std::future<std::string> YieldServer::submit(std::string frame) {
     }
   }
   if (!fault) return impl.submit_frame(std::move(frame));
-  impl.bump(&ServerStats::faults_injected);
+  impl.c_faults_injected.add(1);
   switch (fault->kind) {
     case FaultKind::DropBeforeResponse:
       return ready_future(std::string());
     case FaultKind::TransientReject:
-      impl.bump(&ServerStats::errors);
+      impl.c_errors.add(1);
       return ready_future(
           encode_error(fault->error_code, "injected transient fault"));
     case FaultKind::DropAfterResponse: {
@@ -642,5 +743,7 @@ bool YieldServer::wait_shutdown_for(unsigned timeout_ms) {
 }
 
 ServerStats YieldServer::stats() const { return impl_->stats_snapshot(); }
+
+std::string YieldServer::stats_json() const { return impl_->stats_payload(); }
 
 }  // namespace cny::service

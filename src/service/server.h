@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
 #include "service/faults.h"
 #include "service/protocol.h"
 #include "service/session_cache.h"
@@ -67,8 +68,18 @@ struct ServerOptions {
   /// Deterministic fault-injection plan (faults.h); null = never inject.
   /// Applied at the transport boundary of both the TCP and loopback paths.
   std::shared_ptr<FaultPlan> fault_plan;
+  /// Trace sink for per-request spans (admission, queue_wait,
+  /// session_warm, interpolant_build, kernel_batch, evaluate, serialize).
+  /// Null = tracing off, which is guaranteed zero-perturbation: responses
+  /// and stores are byte-identical either way (pinned in tests).
+  std::shared_ptr<obs::TraceSink> trace_sink;
 };
 
+/// A point-in-time view over the server's obs::Registry counters (each
+/// read atomically; the struct exists so call sites keep named-field
+/// access and tests pin that every counter stays covered). The same
+/// registry also feeds the per-stage latency histograms of the stats
+/// frame — see YieldServer::stats_json().
 struct ServerStats {
   std::uint64_t frames_in = 0;         ///< frames submitted (all types)
   std::uint64_t responses = 0;         ///< FlowResponse frames sent
@@ -124,6 +135,13 @@ class YieldServer {
   [[nodiscard]] bool wait_shutdown_for(unsigned timeout_ms);
 
   [[nodiscard]] ServerStats stats() const;
+
+  /// The canonical-JSON metrics snapshot — the exact payload Pong and
+  /// StatsReply carry on the wire ({"version","protocol","stats":{...
+  /// counters...},"gauges":{...},"histograms":{...},"process":{...}}), so
+  /// the CLI's shutdown log, `stats` subcommand and `--ping` all render
+  /// one format.
+  [[nodiscard]] std::string stats_json() const;
 
  private:
   struct Impl;

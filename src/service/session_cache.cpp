@@ -1,6 +1,7 @@
 #include "service/session_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "celllib/generator.h"
@@ -60,7 +61,8 @@ SessionKey session_key(const FlowRequest& request) {
 }
 
 Session::Session(SessionKey key, std::size_t interpolant_knots,
-                 unsigned n_threads)
+                 unsigned n_threads, obs::TraceSink* trace,
+                 obs::Histogram* build_histogram)
     : key_(std::move(key)),
       canonical_(key_.canonical()),
       lib_(make_library(key_.library)),
@@ -69,8 +71,17 @@ Session::Session(SessionKey key, std::size_t interpolant_knots,
   // strategy of any request makes lands inside it, so after this one build
   // the hot read path is the lock-free interpolant snapshot.
   const yield::WminRequest bracket;
+  obs::Span span(trace, "interpolant_build", "session");
+  span.arg("session", canonical_);
+  const auto t0 = std::chrono::steady_clock::now();
   model_.enable_interpolation(bracket.w_lo, bracket.w_hi, interpolant_knots,
                               n_threads);
+  if (build_histogram != nullptr) {
+    build_histogram->observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
 }
 
 std::shared_ptr<const netlist::Design> Session::design(
@@ -104,6 +115,16 @@ SessionCache::SessionCache(std::size_t capacity,
   CNY_EXPECT(interpolant_knots_ >= 4);
 }
 
+void SessionCache::attach_observability(obs::Registry* registry,
+                                        obs::TraceSink* sink) {
+  trace_ = sink;
+  if (registry != nullptr) {
+    built_counter_ = &registry->counter("sessions_built");
+    warm_histogram_ = &registry->histogram("session_warm_us");
+    build_histogram_ = &registry->histogram("interpolant_build_us");
+  }
+}
+
 std::shared_ptr<const Session> SessionCache::acquire(const SessionKey& key) {
   const std::string canonical = key.canonical();
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -117,8 +138,21 @@ std::shared_ptr<const Session> SessionCache::acquire(const SessionKey& key) {
     sessions_.insert(sessions_.begin(), session);  // MRU to the front
     return session;
   }
-  auto session =
-      std::make_shared<const Session>(key, interpolant_knots_, n_threads_);
+  // A miss is the expensive path worth a span: session_warm covers the
+  // whole build (library generation + model + interpolant), with the
+  // interpolant_build span nested inside by the Session ctor.
+  obs::Span span(trace_, "session_warm", "session");
+  span.arg("session", canonical);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto session = std::make_shared<const Session>(
+      key, interpolant_knots_, n_threads_, trace_, build_histogram_);
+  if (warm_histogram_ != nullptr) {
+    warm_histogram_->observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  if (built_counter_ != nullptr) built_counter_->add(1);
   sessions_.insert(sessions_.begin(), session);
   if (sessions_.size() > capacity_) sessions_.pop_back();
   ++built_;

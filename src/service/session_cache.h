@@ -25,6 +25,8 @@
 #include "celllib/library.h"
 #include "device/failure_model.h"
 #include "netlist/design.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 
 namespace cny::service {
@@ -47,8 +49,13 @@ class Session {
  public:
   /// Generates the library and warms the model: the log-p_F interpolant is
   /// built over the full W_min solver bracket with `interpolant_knots`
-  /// knots on `n_threads` threads (0 = hardware concurrency).
-  Session(SessionKey key, std::size_t interpolant_knots, unsigned n_threads);
+  /// knots on `n_threads` threads (0 = hardware concurrency). The optional
+  /// observability hooks time the interpolant build (an
+  /// "interpolant_build" span + histogram) — pure measurement, never
+  /// behaviour.
+  Session(SessionKey key, std::size_t interpolant_knots, unsigned n_threads,
+          obs::TraceSink* trace = nullptr,
+          obs::Histogram* build_histogram = nullptr);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -88,6 +95,13 @@ class SessionCache {
                         std::size_t interpolant_knots = 65,
                         unsigned n_threads = 0);
 
+  /// Attaches observability: cache misses bump `registry`'s
+  /// "sessions_built" counter and feed its "session_warm_us" /
+  /// "interpolant_build_us" histograms, and emit "session_warm" /
+  /// "interpolant_build" spans on `sink` (either may be null). Call before
+  /// serving — the hooks are read unlocked on the acquire path.
+  void attach_observability(obs::Registry* registry, obs::TraceSink* sink);
+
   /// The warm session for `key`; builds it on a miss. Building holds the
   /// cache lock (misses are rare and seconds-long; concurrent requests for
   /// the *same* cold key must not warm it twice).
@@ -101,6 +115,10 @@ class SessionCache {
   std::size_t capacity_;
   std::size_t interpolant_knots_;
   unsigned n_threads_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Counter* built_counter_ = nullptr;
+  obs::Histogram* warm_histogram_ = nullptr;
+  obs::Histogram* build_histogram_ = nullptr;
   mutable std::mutex mutex_;
   /// Most recently used first.
   std::vector<std::shared_ptr<const Session>> sessions_;

@@ -37,6 +37,7 @@
 #include "cnt/removal_tradeoff.h"
 #include "device/failure_model.h"
 #include "netlist/design_generator.h"
+#include "obs/trace.h"
 #include "service/json.h"
 #include "service/protocol.h"
 #include "yield/flow.h"
@@ -713,6 +714,91 @@ TEST(CampaignRunner, RetryExhaustionThrowsAndNeverPoisonsTheStore) {
   // The failed chunk was never checkpointed: transient outcomes must not
   // masquerade as terminal error records.
   EXPECT_EQ(store.size(), 0u);
+}
+
+// --- observability ---------------------------------------------------------
+
+// The strongest zero-perturbation check in the suite: a campaign traced
+// to a sink *and* writing a progress sidecar, through a fault-injecting
+// server, lands the byte-identical store of an untraced fault-free run.
+// Tracing, progress, and chaos together must not move a single store byte.
+TEST(CampaignRunner, TracedChaosStoreIsByteIdenticalToUntracedFaultFree) {
+  CampaignSpec spec = cheap_campaign();
+  spec.axes[0].values = "1:1:8";
+  const auto points = campaign::compile(spec);
+
+  ResultStore plain;
+  auto options = cheap_options();
+  options.via_service = true;
+  options.checkpoint_every = 4;
+  (void)campaign::run_campaign(points, plain, options);
+
+  const std::string trace_path =
+      ::testing::TempDir() + "campaign_chaos_trace.jsonl";
+  const std::string progress_path =
+      ::testing::TempDir() + "campaign_chaos_progress.jsonl";
+  ResultStore traced;
+  options.trace_sink = std::make_shared<obs::TraceSink>(trace_path);
+  options.progress_path = progress_path;
+  service::FaultPlanOptions faults;
+  faults.seed = 11;
+  faults.period = 2;
+  faults.faults = service::fault_specs_from_names(
+      "drop,truncate,corrupt,reject,delay,drop-after,slowloris");
+  options.fault_plan = std::make_shared<service::FaultPlan>(faults);
+  options.retry.max_attempts = 6;
+  options.retry.backoff_base_ms = 1;
+  const auto stats = campaign::run_campaign(points, traced, options);
+
+  EXPECT_EQ(stats.evaluated, points.size());
+  EXPECT_GT(stats.retry_rounds, 0u)
+      << "the chaos must actually have forced retries";
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain.records()[i].line(), traced.records()[i].line()) << i;
+  }
+  if (obs::tracing_compiled()) {
+    std::ifstream trace(trace_path);
+    std::stringstream buffer;
+    buffer << trace.rdbuf();
+    EXPECT_NE(buffer.str().find("\"campaign.chunk\""), std::string::npos);
+  }
+  std::remove(trace_path.c_str());
+  std::remove(progress_path.c_str());
+}
+
+TEST(CampaignRunner, ProgressSidecarRecordsOneHonestLinePerChunk) {
+  const auto points = campaign::compile(cheap_campaign());
+  const std::string path = ::testing::TempDir() + "campaign_progress.jsonl";
+  ResultStore store;
+  auto options = cheap_options();  // checkpoint_every = 1: chunk per point
+  options.progress_path = path;
+  const auto stats = campaign::run_campaign(points, store, options);
+  EXPECT_EQ(stats.evaluated, points.size());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), points.size());  // one line per chunk, no extras
+
+  std::uint64_t previous_done = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const service::Json entry = service::Json::parse(lines[i]);
+    EXPECT_EQ(entry.at("chunk").as_u64(), i + 1);
+    EXPECT_EQ(entry.at("pending").as_u64(), points.size());
+    const std::uint64_t done = entry.at("done").as_u64();
+    EXPECT_GT(done, previous_done) << "done must be strictly monotone";
+    previous_done = done;
+    EXPECT_EQ(entry.at("retry_rounds").as_u64(), 0u) << "clean run";
+    EXPECT_GE(entry.at("sessions_built").as_u64(), 1u);
+    ASSERT_NE(entry.find("eta_ms"), nullptr);
+    ASSERT_NE(entry.find("elapsed_ms"), nullptr);
+  }
+  EXPECT_EQ(previous_done, points.size());
+  // The final line's ETA is zero: nothing left to extrapolate.
+  EXPECT_EQ(service::Json::parse(lines.back()).at("eta_ms").as_u64(), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "kernels/dispatch.h"
 #include "kernels/mc_kernels.h"
 #include "kernels/pf_batch.h"
+#include "obs/metrics.h"
 #include "kernels/rng_x4.h"
 #include "rng/distributions.h"
 #include "rng/engine.h"
@@ -308,6 +309,46 @@ TEST(Kernels, RunFlowResponseByteIdenticalAcrossSimdModes) {
         cny::yield::run_flow(lib, design, model, params)));
   }
   EXPECT_EQ(encoded[0], encoded[1]);
+}
+
+// Lane-occupancy accounting must balance: every non-degenerate width in a
+// batch is counted exactly once, as either a SIMD lane or a scalar width —
+// on *both* backends (the scalar build books everything scalar).
+TEST(Kernels, LaneOccupancyCountersBalanceOnEveryBackend) {
+  auto& registry = cny::obs::Registry::global();
+  const PitchModel pitch(4.0, 0.9);
+  const std::vector<double> widths{20.0, 36.0, 52.0, 68.0, 84.0,
+                                   100.0, 116.0};  // no degenerate entries
+
+  for (SimdMode mode : {SimdMode::Auto, SimdMode::Off}) {
+    ModeGuard guard(mode);
+    const auto before = registry.snapshot();
+    const auto counter = [&before](const char* name) {
+      for (const auto& [n, v] : before.counters) {
+        if (n == name) return v;
+      }
+      return std::uint64_t{0};
+    };
+    const std::uint64_t calls0 = counter("kernels.pf_batch_calls");
+    const std::uint64_t widths0 = counter("kernels.pf_batch_widths");
+    const std::uint64_t lanes0 = counter("kernels.pf_simd_lanes");
+    const std::uint64_t scalar0 = counter("kernels.pf_scalar_widths");
+
+    (void)pf_truncated_batch(pitch, widths, 0.531, 1e-12);
+
+    EXPECT_EQ(registry.counter("kernels.pf_batch_calls").value(), calls0 + 1);
+    EXPECT_EQ(registry.counter("kernels.pf_batch_widths").value(),
+              widths0 + widths.size());
+    const std::uint64_t lanes =
+        registry.counter("kernels.pf_simd_lanes").value() - lanes0;
+    const std::uint64_t scalar =
+        registry.counter("kernels.pf_scalar_widths").value() - scalar0;
+    EXPECT_EQ(lanes + scalar, widths.size())
+        << "backend=" << cny::kernels::backend_name();
+    if (mode == SimdMode::Off) {
+      EXPECT_EQ(lanes, 0u) << "forced-scalar must book no SIMD lanes";
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+// The observability layer's own contracts (src/obs/):
+//   * registry: get-or-create returns stable references, name/kind
+//     collisions fail loudly, snapshots are sorted and complete;
+//   * histogram: log2 bucketing is exact at the bucket edges, quantiles
+//     interpolate inside the hit bucket and never overshoot the exact
+//     tracked max, concurrent hammering loses no observation;
+//   * trace sink: the JSONL file is tolerant-parseable line by line
+//     (Chrome trace-event shape), args are JSON-escaped, a null-sink Span
+//     is inert, and trace ids are process-unique.
+// The *zero-perturbation* half of the contract — tracing changes no
+// response or store byte — is pinned where the bytes live:
+// tests/test_service.cpp and tests/test_campaign.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/json.h"
+
+namespace {
+
+using namespace cny;
+
+// --- registry --------------------------------------------------------------
+
+TEST(ObsRegistry, GetOrCreateReturnsStableReferences) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("frames_in");
+  obs::Counter& b = registry.counter("frames_in");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("frames_in").value(), 3u);
+
+  obs::Gauge& g = registry.gauge("queue_depth");
+  g.add(5);
+  g.add(-2);
+  EXPECT_EQ(registry.gauge("queue_depth").value(), 3);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(ObsRegistry, NameKindCollisionThrows) {
+  obs::Registry registry;
+  (void)registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), std::logic_error);
+  EXPECT_THROW((void)registry.histogram("x"), std::logic_error);
+  (void)registry.histogram("h");
+  EXPECT_THROW((void)registry.counter("h"), std::logic_error);
+}
+
+TEST(ObsRegistry, SnapshotIsSortedAndComplete) {
+  obs::Registry registry;
+  registry.counter("zeta").add(1);
+  registry.counter("alpha").add(2);
+  registry.gauge("mid").set(-4);
+  registry.histogram("lat_us").observe(100);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[0].second, 2u);
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -4);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+  EXPECT_EQ(snap.histograms[0].second.max, 100u);
+}
+
+// --- histogram -------------------------------------------------------------
+
+TEST(ObsHistogram, BucketOfMatchesBitWidthAndBoundsInvert) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1024), 11u);
+  // Values at and past 2^62 share the clamped top bucket — an observation
+  // of uint64 max must count there, never index out of the bucket array.
+  EXPECT_EQ(obs::Histogram::bucket_of(std::uint64_t{1} << 62), 63u);
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t{0}), 63u);
+
+  // bucket_bounds is the inverse: every value lands inside the bounds of
+  // its own bucket, and the bounds tile the axis with no gaps.
+  std::uint64_t expected_lo = 0;
+  for (unsigned bucket = 0; bucket < 64; ++bucket) {
+    const auto [lo, hi] = obs::Histogram::bucket_bounds(bucket);
+    EXPECT_EQ(lo, expected_lo) << "gap before bucket " << bucket;
+    EXPECT_EQ(obs::Histogram::bucket_of(lo), bucket);
+    EXPECT_EQ(obs::Histogram::bucket_of(hi), bucket);
+    expected_lo = hi + 1;
+  }
+
+  obs::Histogram top;
+  top.observe(~std::uint64_t{0});
+  EXPECT_EQ(top.snapshot().buckets[63], 1u);
+  EXPECT_EQ(top.snapshot().max, ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, QuantilesInterpolateAndNeverOvershootMax) {
+  obs::Histogram h;
+  for (std::uint64_t v : {10u, 20u, 30u, 40u, 1000u}) h.observe(v);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1100u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 220.0);
+  // The p50 observation (30) lives in bucket [16,31]; interpolation must
+  // stay inside it. Every quantile is clamped to the exact max.
+  EXPECT_GE(snap.quantile(0.5), 16.0);
+  EXPECT_LE(snap.quantile(0.5), 32.0);
+  EXPECT_LE(snap.quantile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramSnapshot{}.quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, ConcurrentHammerLosesNothing) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("hits");
+  obs::Histogram& histogram = registry.histogram("lat_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        histogram.observe(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  const obs::HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.max, kThreads * kPerThread - 1);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// --- trace sink ------------------------------------------------------------
+
+TEST(ObsTrace, NullSinkSpanIsInert) {
+  // The "tracing off costs nothing" contract starts here: spans over a
+  // null sink must be safe to construct, arg, and finish anywhere.
+  obs::Span span(nullptr, "evaluate", "server");
+  span.arg("key", "value");
+  span.finish();
+  span.finish();  // idempotent
+  obs::Span defaulted;
+  defaulted.finish();
+}
+
+TEST(ObsTrace, TraceIdsAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string id = obs::next_trace_id();
+    ASSERT_EQ(id.size(), 16u);
+    for (const char c : id) {
+      ASSERT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << id;
+    }
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id " << id;
+  }
+}
+
+TEST(ObsTrace, SinkWritesTolerantParseableTraceEventJsonl) {
+  if (!obs::tracing_compiled()) GTEST_SKIP() << "built with CNY_OBS=OFF";
+  const std::string path = ::testing::TempDir() + "obs_trace_test.jsonl";
+  {
+    obs::TraceSink sink(path);
+    {
+      obs::Span span(&sink, "evaluate", "server");
+      // Args carrying JSON metacharacters (session keys are JSON text)
+      // must be escaped into the event line.
+      span.arg("session", "{\"library\":\"nangate45\"}");
+      span.arg("newline", "a\nb");
+    }
+    std::thread other([&sink] {
+      obs::Span span(&sink, "client.attempt", "client");
+      span.finish();
+    });
+    other.join();
+    sink.complete("queue_wait", "server", 100, 250, {{"trace_id", "abc"}});
+  }  // clean destruction writes the closing "]"
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_GE(lines.size(), 5u);  // "[", 3 events, "]"
+  EXPECT_EQ(lines.front(), "[");
+  EXPECT_EQ(lines.back(), "]");
+
+  std::set<std::string> names;
+  std::set<std::uint64_t> tids;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    std::string event_text = lines[i];
+    ASSERT_EQ(event_text.back(), ',') << event_text;
+    event_text.pop_back();
+    const service::Json event = service::Json::parse(event_text);
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_GE(event.at("dur").as_double(), 0.0);
+    EXPECT_EQ(event.at("pid").as_u64(), 1u);
+    tids.insert(event.at("tid").as_u64());
+    names.insert(event.at("name").as_string());
+    if (event.at("name").as_string() == "evaluate") {
+      EXPECT_EQ(event.at("args").at("session").as_string(),
+                "{\"library\":\"nangate45\"}");
+      EXPECT_EQ(event.at("args").at("newline").as_string(), "a\nb");
+    }
+    if (event.at("name").as_string() == "queue_wait") {
+      // ts/dur are microseconds with sub-us precision: 100 ns = 0.1 us.
+      EXPECT_DOUBLE_EQ(event.at("ts").as_double(), 0.1);
+      EXPECT_DOUBLE_EQ(event.at("dur").as_double(), 0.25);
+    }
+  }
+  EXPECT_EQ(names,
+            (std::set<std::string>{"evaluate", "client.attempt", "queue_wait"}));
+  EXPECT_EQ(tids.size(), 2u) << "two distinct threads, two trace tids";
+  std::remove(path.c_str());
+}
+
+// The whole file parses in one shot too (the closed form is a valid JSON
+// array) — what a trace viewer's strict loader would do.
+TEST(ObsTrace, CleanlyClosedTraceIsOneValidJsonArray) {
+  if (!obs::tracing_compiled()) GTEST_SKIP() << "built with CNY_OBS=OFF";
+  const std::string path = ::testing::TempDir() + "obs_trace_array.jsonl";
+  {
+    obs::TraceSink sink(path);
+    obs::Span span(&sink, "admission", "server");
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  // The per-line trailing comma form needs the last comma stripped for a
+  // strict array parse (trace viewers accept both).
+  const auto last_comma = text.find_last_of(',');
+  ASSERT_NE(last_comma, std::string::npos);
+  text.erase(last_comma, 1);
+  const service::Json trace = service::Json::parse(text);
+  ASSERT_EQ(trace.items().size(), 1u);
+  EXPECT_EQ(trace.items()[0].at("name").as_string(), "admission");
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, SinkThrowsOnUnopenablePath) {
+  if (!obs::tracing_compiled()) GTEST_SKIP() << "built with CNY_OBS=OFF";
+  EXPECT_THROW(obs::TraceSink("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+}  // namespace

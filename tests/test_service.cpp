@@ -24,7 +24,12 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +38,7 @@
 #include "cnt/removal_tradeoff.h"
 #include "device/failure_model.h"
 #include "netlist/design_generator.h"
+#include "obs/trace.h"
 #include "service/client.h"
 #include "service/faults.h"
 #include "service/json.h"
@@ -991,6 +997,187 @@ TEST(ServiceClient, TcpClientReconnectsAfterInjectedDrops) {
   EXPECT_EQ(client.call(request).strategies.size(), 4u);
   EXPECT_GT(server.stats().faults_injected, 0u);
   server.stop();
+}
+
+// --- observability (protocol v4) -------------------------------------------
+
+TEST(ServiceProtocol, TraceIdOmittedWhenEmptyKeepsPayloadByteIdentical) {
+  // The 0.3.0 back-compat pin, same trick as deadline_ms: an untraced
+  // request payload carries no trace key at all, so its bytes are
+  // identical to the pre-v4 form (and campaign store keys never change).
+  FlowRequest request = small_request(1, 0.9);
+  const std::string legacy = service::to_json(request).dump();
+  EXPECT_EQ(legacy.find("trace_id"), std::string::npos);
+
+  request.trace_id = "abc123.T-4_x";
+  const std::string once = service::to_json(request).dump();
+  EXPECT_NE(once.find("\"trace_id\":\"abc123.T-4_x\""), std::string::npos);
+  const auto back = service::flow_request_from_json(Json::parse(once));
+  EXPECT_EQ(back.trace_id, "abc123.T-4_x");
+  EXPECT_EQ(service::to_json(back).dump(), once);
+  // Stripping the trace id restores the legacy bytes exactly.
+  auto stripped = back;
+  stripped.trace_id.clear();
+  EXPECT_EQ(service::to_json(stripped).dump(), legacy);
+
+  auto oversized = request;
+  oversized.trace_id.assign(65, 'a');
+  EXPECT_THROW(service::validate(oversized), service::ProtocolError);
+  auto bad_charset = request;
+  bad_charset.trace_id = "no spaces";
+  EXPECT_THROW(service::validate(bad_charset), service::ProtocolError);
+}
+
+// The zero-perturbation acceptance test for the serving path: the same
+// request produces the same response bytes whether the server traces to a
+// sink, serves untraced, or (CNY_OBS=OFF) has tracing compiled out — and a
+// request that *carries* a trace id still gets the identical response
+// body, because responses hold no trace fields.
+TEST(ServiceServer, ResponsesAreByteIdenticalWithTracingOnOrOff) {
+  const std::string frame =
+      service::encode_flow_request(small_request(1, 0.9));
+  std::string untraced;
+  {
+    service::YieldServer server(loopback_options());
+    server.start();
+    untraced = server.submit(frame).get();
+    server.stop();
+  }
+
+  const std::string path = ::testing::TempDir() + "service_trace.jsonl";
+  {
+    auto options = loopback_options();
+    options.trace_sink = std::make_shared<obs::TraceSink>(path);
+    service::YieldServer server(options);
+    server.start();
+    EXPECT_EQ(server.submit(frame).get(), untraced);
+
+    auto traced_request = small_request(1, 0.9);
+    traced_request.trace_id = obs::next_trace_id();
+    EXPECT_EQ(
+        server.submit(service::encode_flow_request(traced_request)).get(),
+        untraced);
+    server.stop();
+  }
+  if (obs::tracing_compiled()) {
+    // The sink must actually have traced — otherwise this test would pass
+    // vacuously with the instrumentation fallen off.
+    std::ifstream trace(path);
+    std::stringstream buffer;
+    buffer << trace.rdbuf();
+    EXPECT_NE(buffer.str().find("\"evaluate\""), std::string::npos);
+    EXPECT_NE(buffer.str().find("\"trace_id\""), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServiceServer, StatsFrameReturnsTheCanonicalPayload) {
+  service::YieldServer server(loopback_options());
+  server.start();
+  service::YieldClient client(server);
+  (void)client.call(small_request(1, 0.9));
+
+  const Json payload = Json::parse(client.stats());
+  EXPECT_EQ(payload.at("version").as_string(), service::kVersionString);
+  EXPECT_EQ(payload.at("protocol").as_u64(), service::kProtocolVersion);
+  EXPECT_GE(payload.at("stats").at("responses").as_u64(), 1u);
+  const Json& evaluate = payload.at("histograms").at("evaluate_us");
+  EXPECT_GE(evaluate.at("count").as_u64(), 1u);
+  EXPECT_GE(evaluate.at("max_us").as_double(), evaluate.at("p50_us").as_double());
+
+  // Pong and StatsReply serve the *same* payload (one stats_payload()
+  // renders both), so dashboards can treat them interchangeably.
+  const Json pong = Json::parse(client.ping());
+  ASSERT_EQ(pong.members().size(), payload.members().size());
+  for (std::size_t i = 0; i < pong.members().size(); ++i) {
+    EXPECT_EQ(pong.members()[i].first, payload.members()[i].first);
+  }
+  server.stop();
+}
+
+// Counter-coverage acceptance: every counter the stats payload exposes is
+// bumped by some scenario in this test, so a counter that silently stops
+// counting (or a new one added without instrumentation) fails here.
+TEST(ServiceServer, EveryStatsCounterIsExercisedSomewhere) {
+  std::map<std::string, std::uint64_t> observed;
+  const auto merge_stats = [&observed](const service::YieldServer& server) {
+    const Json payload = Json::parse(server.stats_json());
+    for (const auto& [name, value] : payload.at("stats").members()) {
+      std::uint64_t& slot = observed[name];
+      if (value.as_u64() > slot) slot = value.as_u64();
+    }
+  };
+
+  {
+    // Server A: burst past a tiny admission queue (responses, batches,
+    // batched_requests, merged_kernel_hits, sessions_built,
+    // overload_rejects), then a doomed deadline, a garbage frame, and a
+    // TCP ping (connections, frames_in).
+    auto options = loopback_options();
+    options.listen = true;
+    options.port = 0;
+    options.max_queue = 2;
+    options.coalesce_window_us = 200000;
+    service::YieldServer server(options);
+    server.start();
+
+    std::vector<std::future<std::string>> burst;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      burst.push_back(server.submit(
+          service::encode_flow_request(small_request(seed, 0.9))));
+    }
+    for (auto& future : burst) (void)future.get();
+
+    auto doomed = small_request(5, 0.9);
+    doomed.deadline_ms = 10;
+    EXPECT_EQ(
+        expect_error_frame(
+            server.submit(service::encode_flow_request(doomed)).get())
+            .code,
+        "deadline_exceeded");
+    (void)server.submit("garbage").get();
+
+    service::YieldClient tcp("127.0.0.1", server.port());
+    EXPECT_NE(tcp.ping().find("\"version\""), std::string::npos);
+
+    merge_stats(server);
+    server.stop();
+  }
+  {
+    // Server B: an always-rejecting fault plan covers faults_injected.
+    auto options = loopback_options();
+    service::FaultPlanOptions faults;
+    faults.seed = 1;
+    faults.period = 1;
+    faults.max_faults = 1;
+    faults.faults = service::fault_specs_from_names("reject");
+    options.fault_plan = std::make_shared<service::FaultPlan>(faults);
+    service::YieldServer server(options);
+    server.start();
+    service::YieldClient client(server);
+    service::RetryPolicy retry;
+    retry.max_attempts = 3;
+    retry.backoff_base_ms = 1;
+    client.set_retry_policy(retry);
+    (void)client.call(small_request(1, 0.9));
+    merge_stats(server);
+    server.stop();
+  }
+
+  const std::set<std::string> expected{
+      "batched_requests", "batches",           "connections",
+      "deadline_sheds",   "errors",            "faults_injected",
+      "frames_in",        "merged_kernel_hits", "overload_rejects",
+      "responses",        "sessions_built"};
+  std::set<std::string> names;
+  for (const auto& [name, value] : observed) {
+    names.insert(name);
+    EXPECT_GT(value, 0u) << "counter '" << name
+                         << "' is exposed but never exercised";
+  }
+  EXPECT_EQ(names, expected)
+      << "stats payload counters drifted from the pinned set — extend this "
+         "test to exercise any new counter";
 }
 
 }  // namespace

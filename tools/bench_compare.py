@@ -29,17 +29,37 @@ import os
 import sys
 
 
-def load_benchmarks(path):
-    """(name -> real_time in ns, host block or None) from one run JSON."""
+def load_benchmarks(path, agg="median"):
+    """(name -> real_time in ns, host block or None) from one run JSON.
+
+    A run recorded with --benchmark_repetitions emits one iteration entry
+    per repetition under the same name; they are aggregated per `agg` —
+    "median" (default), or "min", the classic noise-robust estimator of a
+    benchmark's intrinsic cost (every slowdown source is additive), which
+    tight gates (--fail-above on a few percent) need so they measure the
+    code, not one unlucky scheduling of it. Single-run files behave as
+    before under either setting.
+    """
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    samples = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
-        out[b["name"]] = b["real_time"] * scale
+        samples.setdefault(b["name"], []).append(b["real_time"] * scale)
+    out = {}
+    for name, values in samples.items():
+        values.sort()
+        if agg == "min":
+            out[name] = values[0]
+        else:
+            mid = len(values) // 2
+            if len(values) % 2:
+                out[name] = values[mid]
+            else:
+                out[name] = (values[mid - 1] + values[mid]) / 2.0
     return out, data.get("host")
 
 
@@ -166,6 +186,10 @@ def main():
     parser.add_argument("--stamp", action="store_true",
                         help="write host metadata into each named run JSON "
                              "and exit instead of comparing")
+    parser.add_argument("--agg", choices=("median", "min"), default="median",
+                        help="aggregate across repeated samples of one "
+                             "benchmark: median (default) or min (most "
+                             "robust to scheduling noise for tight gates)")
     args = parser.parse_args()
 
     if args.stamp:
@@ -181,8 +205,9 @@ def main():
         for name in matching_files(before_path, after_path):
             print(f"== {name}")
             before, before_host = load_benchmarks(
-                os.path.join(before_path, name))
-            after, after_host = load_benchmarks(os.path.join(after_path, name))
+                os.path.join(before_path, name), args.agg)
+            after, after_host = load_benchmarks(
+                os.path.join(after_path, name), args.agg)
             print_hosts(before_host, after_host)
             rows, regs, ratios = compare(before, after, args.threshold)
             print_table(rows)
@@ -191,8 +216,8 @@ def main():
             for bench, ratio in ratios.items():
                 all_ratios[f"{name}:{bench}"] = ratio
     else:
-        before, before_host = load_benchmarks(before_path)
-        after, after_host = load_benchmarks(after_path)
+        before, before_host = load_benchmarks(before_path, args.agg)
+        after, after_host = load_benchmarks(after_path, args.agg)
         print_hosts(before_host, after_host)
         rows, total_regressions, all_ratios = compare(
             before, after, args.threshold)

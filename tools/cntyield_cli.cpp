@@ -34,7 +34,12 @@
 //                        [--shutdown] [--library=nangate45|commercial65]
 //                        [--instances=0] [--yield=0.90] [--seed=1]
 //                        [--retries=0] [--retry-base-ms=10]
-//                        [--deadline-ms=0] ...
+//                        [--deadline-ms=0] [--table] ...
+//   cntyield_cli stats   [--host=127.0.0.1] [--port=7421] [--table]
+//                        (metrics snapshot of a running server: counters,
+//                        queue gauges, per-stage latency histograms, and
+//                        the process-wide thread-pool/kernel metrics —
+//                        canonical JSON, or tables with --table)
 //   cntyield_cli --version
 //
 // Failure semantics (docs/architecture.md): a service failure exits 4
@@ -57,6 +62,16 @@
 // forces the scalar reference. Like --threads, it only changes wall-clock:
 // every backend is bit-identical to the scalar kernels
 // (docs/architecture.md, "Kernel backends").
+// --trace=FILE (any subcommand) writes a Chrome-trace-event JSONL of
+// observability spans — server stages, session warms, client retry
+// attempts, campaign chunks — loadable in Perfetto / chrome://tracing and
+// summarised by tools/trace_summary.py. Observational only: every output
+// and store byte is identical with or without it (docs/architecture.md,
+// "Observability"). Exits 2 when the build compiled tracing out
+// (-DCNY_OBS=OFF).
+// campaign --progress renders a live progress line on stderr;
+// --progress-file=PATH additionally appends one JSON line per checkpoint
+// (done/pending, retry rounds, sessions built, ETA) for dashboards.
 // Without --lib/--design the built-in synthetic nangate45_like library and
 // OpenRISC-like design are used, so every subcommand runs out of the box.
 // `serve` starts the batching yield service of src/service/ on 127.0.0.1;
@@ -74,6 +89,7 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -92,6 +108,7 @@
 #include "layout/aligned_active.h"
 #include "netlist/design_generator.h"
 #include "netlist/design_io.h"
+#include "obs/trace.h"
 #include "scenario/engine.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -104,6 +121,12 @@
 namespace {
 
 using namespace cny;
+
+/// Global trace sink (--trace=FILE), created in main before the subcommand
+/// dispatch; null when tracing is off. Commands that host traceable work
+/// hand it to their server/client/runner — observational only, so every
+/// command's output is invariant under it.
+std::shared_ptr<obs::TraceSink> g_trace_sink;
 
 celllib::Library resolve_library(const util::Cli& cli) {
   if (cli.has("lib")) {
@@ -224,7 +247,9 @@ int cmd_flow(const util::Cli& cli) {
   const auto model = resolve_model(cli);
   const auto params = resolve_flow_params(cli);
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Span span(g_trace_sink.get(), "flow", "cli");
   const auto res = yield::run_flow(lib, design, model, params);
+  span.finish();
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
@@ -376,6 +401,7 @@ int cmd_scenarios(const util::Cli& cli) {
   options.checkpoint_every = 0;
   options.via_service = cli.has("via-service");
   options.cache_capacity = compiled.size();
+  options.trace_sink = g_trace_sink;
   const auto t0 = std::chrono::steady_clock::now();
   const auto stats = campaign::run_campaign(compiled, store, options);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -573,15 +599,41 @@ int cmd_campaign(const util::Cli& cli) {
     options.fault_plan =
         std::make_shared<service::FaultPlan>(fault_options);
   }
+  options.trace_sink = g_trace_sink;
+  options.progress_path = cli.get("progress-file", "");
   g_campaign_interrupted = 0;
   std::signal(SIGTERM, [](int) { g_campaign_interrupted = 1; });
   std::signal(SIGINT, [](int) { g_campaign_interrupted = 1; });
   options.interrupted = [] { return g_campaign_interrupted != 0; };
-  options.progress = [](std::size_t done, std::size_t pending) {
-    std::fprintf(stderr, "  checkpoint %zu/%zu\n", done, pending);
-  };
-
   const auto t0 = std::chrono::steady_clock::now();
+  if (cli.has("progress")) {
+    // Live single-line progress: percentage + rate-extrapolated ETA,
+    // redrawn in place on stderr at every checkpoint.
+    options.progress = [t0](std::size_t done, std::size_t pending) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const long long eta =
+          done == 0 ? 0
+                    : static_cast<long long>(
+                          static_cast<double>(elapsed) *
+                          static_cast<double>(pending - done) /
+                          static_cast<double>(done));
+      std::fprintf(stderr, "\r  %zu/%zu points (%.0f%%), eta %lld.%01llds ",
+                   done, pending,
+                   100.0 * static_cast<double>(done) /
+                       static_cast<double>(pending == 0 ? 1 : pending),
+                   eta / 1000, static_cast<unsigned long long>(eta % 1000 / 100));
+      if (done == pending) std::fputc('\n', stderr);
+      std::fflush(stderr);
+    };
+  } else {
+    options.progress = [](std::size_t done, std::size_t pending) {
+      std::fprintf(stderr, "  checkpoint %zu/%zu\n", done, pending);
+    };
+  }
+
   const auto stats = campaign::run_campaign(compiled, store, options);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       std::chrono::steady_clock::now() - t0)
@@ -693,6 +745,7 @@ int cmd_serve(const util::Cli& cli) {
       cli, "knots", static_cast<long>(options.interpolant_knots), 4, 100000));
   options.max_queue = static_cast<std::size_t>(require_long_in(
       cli, "max-queue", static_cast<long>(options.max_queue), 1, 1'000'000));
+  options.trace_sink = g_trace_sink;
   service::YieldServer server(options);
   server.start();
   std::printf(
@@ -718,23 +771,74 @@ int cmd_serve(const util::Cli& cli) {
   server.drain();
   std::signal(SIGTERM, SIG_DFL);
   std::signal(SIGINT, SIG_DFL);
-  const auto stats = server.stats();
-  std::printf(
-      "shutting down: %llu frames in, %llu responses, %llu errors, "
-      "%llu requests over %llu batches, %llu sessions warmed, "
-      "%llu connections, %llu overload rejects, %llu deadline sheds, "
-      "%llu faults injected, %llu merged kernel hits\n",
-      static_cast<unsigned long long>(stats.frames_in),
-      static_cast<unsigned long long>(stats.responses),
-      static_cast<unsigned long long>(stats.errors),
-      static_cast<unsigned long long>(stats.batched_requests),
-      static_cast<unsigned long long>(stats.batches),
-      static_cast<unsigned long long>(stats.sessions_built),
-      static_cast<unsigned long long>(stats.connections),
-      static_cast<unsigned long long>(stats.overload_rejects),
-      static_cast<unsigned long long>(stats.deadline_sheds),
-      static_cast<unsigned long long>(stats.faults_injected),
-      static_cast<unsigned long long>(stats.merged_kernel_hits));
+  // The same canonical JSON a Stats frame / `cntyield_cli stats` returns,
+  // so the last log line of every server is machine-readable.
+  std::printf("shutting down: %s\n", server.stats_json().c_str());
+  return 0;
+}
+
+/// Renders the canonical stats payload (YieldServer::stats_json(), also
+/// the Pong body) as aligned tables: server counters/gauges, per-stage
+/// latency histograms, process-wide thread-pool and kernel metrics.
+void print_stats_table(const std::string& payload) {
+  const service::Json v = service::Json::parse(payload);
+  {
+    util::Table t("Server counters (cntyield " + v.at("version").as_string() +
+                  ", protocol v" + v.at("protocol").dump() + ")");
+    t.header({"counter", "value"});
+    for (const auto& [name, value] : v.at("stats").members()) {
+      t.begin_row().cell(name).cell(value.dump());
+    }
+    for (const auto& [name, value] : v.at("gauges").members()) {
+      t.begin_row().cell(name + " (gauge)").cell(value.dump());
+    }
+    std::cout << t.to_text();
+  }
+  if (!v.at("histograms").members().empty()) {
+    util::Table t("Per-stage latency");
+    t.header({"stage", "count", "mean (us)", "p50 (us)", "p95 (us)",
+              "max (us)"});
+    for (const auto& [name, h] : v.at("histograms").members()) {
+      t.begin_row()
+          .cell(name)
+          .cell(h.at("count").dump())
+          .num(h.at("mean_us").as_double(), 4)
+          .num(h.at("p50_us").as_double(), 4)
+          .num(h.at("p95_us").as_double(), 4)
+          .cell(h.at("max_us").dump());
+    }
+    std::cout << t.to_text();
+  }
+  {
+    util::Table t("Process-wide metrics (thread pool, kernel backends)");
+    t.header({"metric", "value"});
+    const service::Json& process = v.at("process");
+    for (const auto& [name, value] : process.at("counters").members()) {
+      t.begin_row().cell(name).cell(value.dump());
+    }
+    for (const auto& [name, value] : process.at("gauges").members()) {
+      t.begin_row().cell(name + " (gauge)").cell(value.dump());
+    }
+    std::cout << t.to_text();
+  }
+}
+
+/// `stats` — one Stats frame to a running server, rendered as canonical
+/// JSON (scripts) or tables (--table). The payload is identical to what
+/// --ping returns and what the server logs at shutdown: one stats shape
+/// everywhere.
+int cmd_stats(const util::Cli& cli) {
+  service::YieldClient client(
+      cli.get("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(require_long_in(cli, "port", 7421, 1, 65535)));
+  client.set_retry_policy(resolve_retry_policy(cli));
+  client.set_trace_sink(g_trace_sink.get());
+  const std::string payload = client.stats();
+  if (cli.has("table")) {
+    print_stats_table(payload);
+  } else {
+    std::printf("%s\n", payload.c_str());
+  }
   return 0;
 }
 
@@ -743,8 +847,16 @@ int cmd_request(const util::Cli& cli) {
       cli.get("host", "127.0.0.1"),
       static_cast<std::uint16_t>(require_long_in(cli, "port", 7421, 1, 65535)));
   client.set_retry_policy(resolve_retry_policy(cli));
+  client.set_trace_sink(g_trace_sink.get());
   if (cli.has("ping")) {
-    std::printf("pong: %s\n", client.ping().c_str());
+    // The Pong body is the canonical stats payload — same bytes as the
+    // `stats` subcommand, with the same optional pretty-printer.
+    const std::string payload = client.ping();
+    if (cli.has("table")) {
+      print_stats_table(payload);
+    } else {
+      std::printf("pong: %s\n", payload.c_str());
+    }
     return 0;
   }
   if (cli.has("shutdown")) {
@@ -793,8 +905,10 @@ int print_version() {
 int usage() {
   std::puts(
       "usage: cntyield_cli <pf|wmin|flow|batch|scenarios|campaign|scaling|"
-      "table1|table2|align|gen-lib|gen-design|serve|request> [flags]\n"
+      "table1|table2|align|gen-lib|gen-design|serve|request|stats> [flags]\n"
       "       cntyield_cli --version\n"
+      "  any command: --trace=FILE writes a Perfetto-loadable span JSONL\n"
+      "  stats: metrics snapshot of a running server (--table for tables)\n"
       "  flow/batch/serve: --threads=N (0 = hardware concurrency)\n"
       "  flow/batch/request: --scenario=shorts,length,removal (+ mechanism "
       "flags)\n"
@@ -838,7 +952,8 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
       "streams", "seed", "pm", "prs", "cv", "pitch-mean", "scenario", "prm",
       "noise-fails", "length-mean-um", "length-cv", "length-devices",
       "selectivity", "prm-target", "retries", "retry-base-ms", "chaos",
-      "chaos-period", "chaos-seed", "chaos-max"}},
+      "chaos-period", "chaos-seed", "chaos-max", "progress",
+      "progress-file"}},
     {"scaling", {"relaxation"}},
     {"table1", {}},
     {"table2", {}},
@@ -852,7 +967,8 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
       "chip-m", "mc-samples", "seed", "streams", "pm", "prs", "cv",
       "pitch-mean", "scenario", "prm", "noise-fails", "length-mean-um",
       "length-cv", "length-devices", "selectivity", "prm-target", "retries",
-      "retry-base-ms", "deadline-ms"}},
+      "retry-base-ms", "deadline-ms", "table"}},
+    {"stats", {"host", "port", "table", "retries", "retry-base-ms", "seed"}},
 };
 
 /// 0 when `cmd` exists and every flag is known; the exit code otherwise.
@@ -863,7 +979,8 @@ int reject_unknown_flags(const util::Cli& cli, const std::string& cmd) {
     return usage();
   }
   for (const auto& name : cli.flag_names()) {
-    if (name == "simd") continue;  // global flag, valid for every command
+    // Global flags, valid for every command.
+    if (name == "simd" || name == "trace") continue;
     if (std::find(it->second.begin(), it->second.end(), name) ==
         it->second.end()) {
       std::fprintf(stderr, "error: unknown flag --%s for '%s'\n",
@@ -894,6 +1011,24 @@ int main(int argc, char** argv) {
                  simd.c_str());
     return 2;
   }
+  // Global tracing switch: --trace=FILE opens the span sink every command
+  // hands to its server/client/runner. Observational only — outputs and
+  // stores are byte-identical with or without it.
+  if (cli.has("trace")) {
+    if (!cny::obs::tracing_compiled()) {
+      std::fprintf(stderr,
+                   "error: --trace requires a build with tracing compiled "
+                   "in (this one was configured with -DCNY_OBS=OFF)\n");
+      return 2;
+    }
+    try {
+      g_trace_sink =
+          std::make_shared<cny::obs::TraceSink>(cli.get("trace", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   const experiments::PaperParams params;
   try {
     if (cmd == "pf") return cmd_pf(cli);
@@ -907,6 +1042,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen-design") return cmd_gen_design(cli);
     if (cmd == "serve") return cmd_serve(cli);
     if (cmd == "request") return cmd_request(cli);
+    if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "scaling") {
       std::cout << experiments::report_fig3_3(
                        params, cli.get_double("relaxation", 350.0))

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Summarise a cntyield trace JSONL (--trace=FILE) into a per-stage table.
+
+The trace file is Chrome-trace-event JSON written one event per line (a
+"[" opener, complete "X" events, a "]" closer that only appears on clean
+shutdown), so it loads in Perfetto / chrome://tracing *and* streams line
+by line here. This tool:
+
+  * parses tolerantly (the array brackets, trailing commas, and a missing
+    closer — a live or killed process — are all fine),
+  * validates the schema of every complete event (name/cat/ph/ts/pid/tid,
+    plus dur for ph == "X"),
+  * prints one row per span name: count, total, p50/p95/max duration,
+  * with --require a,b,c exits 1 unless every named span occurs at least
+    once — CI's "the instrumentation did not silently fall off" gate.
+
+Usage:
+  tools/trace_summary.py trace.jsonl
+  tools/trace_summary.py trace.jsonl --require queue_wait,evaluate,serialize
+"""
+
+import argparse
+import json
+import sys
+
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def load_events(path):
+    """Yields parsed events; raises SystemExit on malformed lines."""
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if line in ("", "[", "]"):
+                continue  # array brackets / blank lines
+            line = line.rstrip(",")
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                # A torn final line is expected from a killed process; any
+                # earlier parse failure is a real format bug.
+                if lineno == count_lines(path):
+                    continue
+                sys.exit(f"{path}:{lineno}: unparseable event: {e}")
+            if not isinstance(event, dict):
+                sys.exit(f"{path}:{lineno}: event is not an object")
+            for key in REQUIRED_KEYS:
+                if key not in event:
+                    sys.exit(f"{path}:{lineno}: event missing '{key}'")
+            if event["ph"] == "X" and "dur" not in event:
+                sys.exit(f"{path}:{lineno}: complete event missing 'dur'")
+            events.append(event)
+    return events
+
+
+def count_lines(path):
+    with open(path, "rb") as f:
+        return sum(1 for _ in f)
+
+
+def quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSONL written by --trace=FILE")
+    parser.add_argument(
+        "--require",
+        default="",
+        help="comma-separated span names that must each occur at least once "
+        "(exit 1 otherwise)",
+    )
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    spans = {}  # name -> list of durations (us)
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        spans.setdefault(event["name"], []).append(float(event["dur"]))
+
+    name_width = max([len(n) for n in spans] + [len("span")])
+    header = (
+        f"{'span':<{name_width}}  {'count':>7}  {'total_us':>12}  "
+        f"{'p50_us':>10}  {'p95_us':>10}  {'max_us':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in sorted(spans):
+        durations = sorted(spans[name])
+        print(
+            f"{name:<{name_width}}  {len(durations):>7}  "
+            f"{sum(durations):>12.1f}  "
+            f"{quantile(durations, 0.5):>10.1f}  "
+            f"{quantile(durations, 0.95):>10.1f}  "
+            f"{durations[-1]:>10.1f}"
+        )
+
+    required = [n for n in args.require.split(",") if n]
+    missing = [n for n in required if n not in spans]
+    if missing:
+        sys.exit(
+            "missing required span(s): "
+            + ", ".join(missing)
+            + f" (trace has: {', '.join(sorted(spans)) or 'none'})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
