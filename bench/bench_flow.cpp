@@ -7,9 +7,23 @@
 #include "celllib/generator.h"
 #include "experiments/flow_summary.h"
 #include "netlist/design_generator.h"
+#include "obs/resource.h"
 #include "yield/flow.h"
 
 namespace {
+
+// Records the process memory high-water mark (and current RSS) as user
+// counters on the benchmark, so baseline JSONs carry a memory figure next
+// to the time. VmHWM is process-wide and monotone, so on a multi-benchmark
+// binary each entry reports "the peak so far" — comparable across
+// recordings of the same binary (registration order is fixed), and an
+// upper bound per benchmark either way.
+void record_memory(benchmark::State& state) {
+  const cny::obs::ResourceUsage usage = cny::obs::sample_resources();
+  if (!usage.ok) return;
+  state.counters["vm_hwm_kb"] = static_cast<double>(usage.vm_hwm_kb);
+  state.counters["rss_kb"] = static_cast<double>(usage.rss_kb);
+}
 
 void BM_FullYieldFlow(benchmark::State& state) {
   const cny::experiments::PaperParams params;
@@ -17,6 +31,7 @@ void BM_FullYieldFlow(benchmark::State& state) {
     const auto res = cny::experiments::run_flow_summary(params);
     benchmark::DoNotOptimize(res.strategies.size());
   }
+  record_memory(state);
 }
 BENCHMARK(BM_FullYieldFlow)->Unit(benchmark::kMillisecond);
 
@@ -29,6 +44,7 @@ void BM_FullYieldFlowThreads(benchmark::State& state) {
     const auto res = cny::experiments::run_flow_summary(params);
     benchmark::DoNotOptimize(res.strategies.size());
   }
+  record_memory(state);
 }
 BENCHMARK(BM_FullYieldFlowThreads)
     ->Arg(1)
@@ -62,6 +78,7 @@ void BM_FlowBatchSweep(benchmark::State& state) {
         cny::yield::run_flow_batch(lib, jobs, cold_model, batch);
     benchmark::DoNotOptimize(results.size());
   }
+  record_memory(state);
 }
 BENCHMARK(BM_FlowBatchSweep)
     ->Arg(0)
@@ -87,6 +104,7 @@ void BM_SingleFlowInterpolant(benchmark::State& state) {
     const auto res = cny::yield::run_flow(lib, design, cold_model, params);
     benchmark::DoNotOptimize(res.strategies.size());
   }
+  record_memory(state);
 }
 BENCHMARK(BM_SingleFlowInterpolant)
     ->Arg(0)

@@ -17,6 +17,7 @@
 #include "exec/thread_pool.h"
 #include "netlist/design.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "service/server.h"
 #include "service/session_cache.h"
 #include "yield/flow.h"
@@ -52,7 +53,8 @@ class ProgressSidecar {
   ProgressSidecar& operator=(const ProgressSidecar&) = delete;
 
   void chunk_line(std::size_t chunk, std::size_t done, std::size_t pending,
-                  const CampaignStats& stats, std::uint64_t elapsed_ms) {
+                  const CampaignStats& stats, std::uint64_t elapsed_ms,
+                  const obs::ResourceUsage& usage) {
     // ETA extrapolates this run's per-point rate over what is left; crude
     // but monotone inputs make it stable enough for a progress line.
     const std::uint64_t eta_ms =
@@ -61,16 +63,22 @@ class ProgressSidecar {
                         static_cast<double>(elapsed_ms) *
                         static_cast<double>(pending - done) /
                         static_cast<double>(done));
+    // rss_kb / vm_hwm_kb come last so existing line consumers (which match
+    // on the leading fields) keep working; both are 0 when /proc was
+    // unreadable.
     std::fprintf(
         file_,
         "{\"chunk\":%zu,\"done\":%zu,\"pending\":%zu,\"evaluated\":%zu,"
         "\"failed\":%zu,\"skipped\":%zu,\"retry_rounds\":%llu,"
-        "\"sessions_built\":%llu,\"elapsed_ms\":%llu,\"eta_ms\":%llu}\n",
+        "\"sessions_built\":%llu,\"elapsed_ms\":%llu,\"eta_ms\":%llu,"
+        "\"rss_kb\":%llu,\"vm_hwm_kb\":%llu}\n",
         chunk, done, pending, stats.evaluated, stats.failed, stats.skipped,
         static_cast<unsigned long long>(stats.retry_rounds),
         static_cast<unsigned long long>(stats.sessions_built),
         static_cast<unsigned long long>(elapsed_ms),
-        static_cast<unsigned long long>(eta_ms));
+        static_cast<unsigned long long>(eta_ms),
+        static_cast<unsigned long long>(usage.rss_kb),
+        static_cast<unsigned long long>(usage.vm_hwm_kb));
     std::fflush(file_);
   }
 
@@ -168,7 +176,7 @@ void evaluate_chunk_service(const std::vector<const CompiledPoint*>& chunk,
                             std::vector<Outcome>& outcomes,
                             service::YieldServer& server,
                             const service::RetryPolicy& retry,
-                            std::uint64_t& retry_rounds) {
+                            std::uint64_t& retry_rounds, obs::Log* log) {
   // Round-based retry: every unresolved point is submitted together (so
   // the server still coalesces the chunk into batches), the transient
   // failures go again next round after one backoff sleep. Retrying is
@@ -204,6 +212,10 @@ void evaluate_chunk_service(const std::vector<const CompiledPoint*>& chunk,
     if (attempt >= max_attempts) {
       // Exhausted: fail the run rather than record a transient outcome —
       // the store must only ever hold results and *terminal* errors.
+      obs::LogEvent(log, obs::LogLevel::Error, "campaign.retry_exhausted")
+          .num("open", static_cast<std::int64_t>(open.size()))
+          .num("attempts", static_cast<std::int64_t>(max_attempts))
+          .str("last_code", last_code);
       throw service::ServiceError(
           last_code, std::to_string(open.size()) +
                          " point(s) still failing after " +
@@ -211,6 +223,10 @@ void evaluate_chunk_service(const std::vector<const CompiledPoint*>& chunk,
                          " attempt(s); last failure: " + last_message);
     }
     retry_rounds += 1;  // points remain open: the next round is a retry
+    obs::LogEvent(log, obs::LogLevel::Warn, "campaign.retry_round")
+        .num("attempt", static_cast<std::int64_t>(attempt))
+        .num("open", static_cast<std::int64_t>(open.size()))
+        .str("last_code", last_code);
     std::this_thread::sleep_for(
         std::chrono::milliseconds(retry.backoff_ms(attempt)));
   }
@@ -246,6 +262,7 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
       server_options.interpolant_knots = options.interpolant_knots;
       server_options.fault_plan = options.fault_plan;
       server_options.trace_sink = options.trace_sink;
+      server_options.log = options.log;
       // evaluate_chunk_service submits a whole chunk at once; the admission
       // queue must admit it, or an oversized chunk would deterministically
       // draw server_overloaded rejections and burn the retry budget meant
@@ -262,7 +279,8 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
       // server path has its own per-server one) and trace through the
       // campaign's sink.
       cache->attach_observability(&obs::Registry::global(),
-                                  options.trace_sink.get());
+                                  options.trace_sink.get(),
+                                  options.log.get());
     }
   }
 
@@ -271,12 +289,22 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
     sidecar = std::make_unique<ProgressSidecar>(options.progress_path);
   }
 
+  obs::LogEvent(options.log.get(), obs::LogLevel::Info, "campaign.start")
+      .num("total", static_cast<std::int64_t>(stats.total))
+      .num("pending", static_cast<std::int64_t>(pending.size()))
+      .num("chunk_size", static_cast<std::int64_t>(chunk_size))
+      .num("via_service", options.via_service ? 1 : 0);
+
   const auto run_start = std::chrono::steady_clock::now();
   std::size_t chunk_index = 0;
   std::size_t done = 0;
   while (done < pending.size()) {
     if (options.interrupted && options.interrupted()) {
       stats.interrupted = true;
+      obs::LogEvent(options.log.get(), obs::LogLevel::Warn,
+                    "campaign.interrupted")
+          .num("done", static_cast<std::int64_t>(done))
+          .num("pending", static_cast<std::int64_t>(pending.size()));
       break;
     }
     const std::size_t n = std::min(chunk_size, pending.size() - done);
@@ -290,7 +318,7 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
     chunk_span.arg("points", std::to_string(n));
     if (server != nullptr) {
       evaluate_chunk_service(chunk, outcomes, *server, options.retry,
-                             stats.retry_rounds);
+                             stats.retry_rounds, options.log.get());
     } else {
       // Group by session key so each warm corner is evaluated once per
       // chunk; std::map iteration keeps the group order deterministic.
@@ -326,14 +354,24 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
     chunk_index += 1;
     stats.sessions_built = server != nullptr ? server->stats().sessions_built
                                              : cache->sessions_built();
+    // One /proc sample per checkpoint, shared by the sidecar line and the
+    // checkpoint event — write-only telemetry either way.
+    const obs::ResourceUsage usage = obs::sample_resources();
     if (sidecar != nullptr) {
       sidecar->chunk_line(
           chunk_index, done, pending.size(), stats,
           static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::milliseconds>(
                   std::chrono::steady_clock::now() - run_start)
-                  .count()));
+                  .count()),
+          usage);
     }
+    obs::LogEvent(options.log.get(), obs::LogLevel::Info,
+                  "campaign.checkpoint")
+        .num("chunk", static_cast<std::int64_t>(chunk_index))
+        .num("done", static_cast<std::int64_t>(done))
+        .num("pending", static_cast<std::int64_t>(pending.size()))
+        .num("rss_kb", static_cast<std::int64_t>(usage.rss_kb));
     if (options.progress) options.progress(done, pending.size());
   }
 
@@ -343,6 +381,12 @@ CampaignStats run_campaign(const std::vector<CompiledPoint>& points,
   } else if (cache != nullptr) {
     stats.sessions_built = cache->sessions_built();
   }
+  obs::LogEvent(options.log.get(), obs::LogLevel::Info, "campaign.finish")
+      .num("evaluated", static_cast<std::int64_t>(stats.evaluated))
+      .num("failed", static_cast<std::int64_t>(stats.failed))
+      .num("skipped", static_cast<std::int64_t>(stats.skipped))
+      .num("retry_rounds", static_cast<std::int64_t>(stats.retry_rounds))
+      .num("interrupted", stats.interrupted ? 1 : 0);
   return stats;
 }
 

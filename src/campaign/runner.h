@@ -41,6 +41,7 @@
 
 #include "campaign/spec.h"
 #include "campaign/store.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "service/client.h"
 #include "service/faults.h"
@@ -78,8 +79,10 @@ struct RunnerOptions {
   std::shared_ptr<service::FaultPlan> fault_plan;
   /// Progress sidecar: when non-empty, one JSON line is appended here
   /// after every chunk ({"chunk","done","pending","evaluated","failed",
-  /// "skipped","retry_rounds","sessions_built","elapsed_ms","eta_ms"}) —
-  /// a watcher tails it without touching the store. The sidecar is a
+  /// "skipped","retry_rounds","sessions_built","elapsed_ms","eta_ms",
+  /// "rss_kb","vm_hwm_kb"} — the resource columns sample /proc at
+  /// checkpoint time, so a tail shows memory growth per chunk) — a
+  /// watcher tails it without touching the store. The sidecar is a
   /// separate file the resume path never reads, so it cannot perturb
   /// store bytes (pinned in tests).
   std::string progress_path;
@@ -88,6 +91,11 @@ struct RunnerOptions {
   /// either way the store is byte-identical (the zero-perturbation
   /// contract).
   std::shared_ptr<obs::TraceSink> trace_sink;
+  /// Structured JSONL event log (campaign.start / campaign.checkpoint /
+  /// campaign.retry_exhausted / campaign.interrupted / campaign.finish,
+  /// plus the server/session events on the via-service path). Null = off;
+  /// same zero-perturbation contract as tracing.
+  std::shared_ptr<obs::Log> log;
 };
 
 struct CampaignStats {

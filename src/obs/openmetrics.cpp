@@ -1,0 +1,78 @@
+#include "obs/openmetrics.h"
+
+#include <set>
+
+namespace cny::obs {
+
+namespace {
+
+void render_counter(std::string& out, const std::string& name,
+                    std::uint64_t value) {
+  out += "# TYPE " + name + " counter\n";
+  out += name + "_total " + std::to_string(value) + "\n";
+}
+
+void render_gauge(std::string& out, const std::string& name,
+                  std::int64_t value) {
+  out += "# TYPE " + name + " gauge\n";
+  out += name + " " + std::to_string(value) + "\n";
+}
+
+void render_histogram(std::string& out, const std::string& name,
+                      const HistogramSnapshot& h) {
+  out += "# TYPE " + name + " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (unsigned b = 0; b < 63; ++b) {
+    if (h.buckets[b] == 0) continue;
+    cumulative += h.buckets[b];
+    // The log2 bucket's inclusive upper bound is a valid `le` boundary:
+    // every observation in buckets 0..b is <= bucket_bounds(b).second.
+    const std::uint64_t le = Histogram::bucket_bounds(b).second;
+    out += name + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+           std::to_string(cumulative) + "\n";
+  }
+  // Bucket 63 is unbounded above, so it folds into the mandatory +Inf
+  // bucket, which by definition equals the total count.
+  out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+  out += name + "_sum " + std::to_string(h.sum) + "\n";
+  out += name + "_count " + std::to_string(h.count) + "\n";
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out = "cny_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_openmetrics(const MetricsSnapshot& server,
+                               const MetricsSnapshot& process) {
+  std::string out;
+  std::set<std::string> seen;  // sanitised family names already emitted
+  const auto fresh = [&seen](const std::string& name) {
+    return seen.insert(name).second;
+  };
+  for (const MetricsSnapshot* snap : {&server, &process}) {
+    for (const auto& [name, value] : snap->counters) {
+      const std::string om = openmetrics_name(name);
+      if (fresh(om)) render_counter(out, om, value);
+    }
+    for (const auto& [name, value] : snap->gauges) {
+      const std::string om = openmetrics_name(name);
+      if (fresh(om)) render_gauge(out, om, value);
+    }
+    for (const auto& [name, h] : snap->histograms) {
+      const std::string om = openmetrics_name(name);
+      if (fresh(om)) render_histogram(out, om, h);
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace cny::obs

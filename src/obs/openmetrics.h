@@ -1,0 +1,32 @@
+// OpenMetrics text exposition: renders MetricsSnapshots in the standard
+// Prometheus-compatible format (one `# TYPE` line per family, counters
+// with a `_total` sample, histograms as cumulative `le` buckets derived
+// from the log2 bucket_bounds, terminated by `# EOF`).
+//
+// This is a pure renderer — snapshots in, text out, no I/O — so the
+// /metrics HTTP handler, the CLI, and the tests all share one formatter
+// and tools/check_openmetrics.py validates them all at once.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cny::obs {
+
+/// Content-Type the OpenMetrics spec requires for the text format.
+inline constexpr const char* kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Sanitises a metric name into the exposition charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*) and prefixes "cny_": "process.rss_kb" ->
+/// "cny_process_rss_kb".
+[[nodiscard]] std::string openmetrics_name(std::string_view name);
+
+/// Renders `server` (a YieldServer registry snapshot) plus `process` (the
+/// global registry: exec.*, kernels.*, process.*) as one OpenMetrics text
+/// page. Name collisions between the two favour the server snapshot.
+[[nodiscard]] std::string render_openmetrics(const MetricsSnapshot& server,
+                                             const MetricsSnapshot& process);
+
+}  // namespace cny::obs

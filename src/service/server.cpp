@@ -23,6 +23,9 @@
 
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/resource.h"
+#include "obs/snapshot.h"
 #include "util/contracts.h"
 #include "yield/flow.h"
 
@@ -53,7 +56,7 @@ struct YieldServer::Impl {
       : options(std::move(opts)),
         cache(options.cache_capacity, options.interpolant_knots,
               options.n_threads) {
-    cache.attach_observability(&registry, trace());
+    cache.attach_observability(&registry, trace(), log());
   }
 
   ServerOptions options;
@@ -82,9 +85,16 @@ struct YieldServer::Impl {
 
   SessionCache cache;
 
+  /// Time series the resource sampler feeds (server counters + process
+  /// gauges per tick); sized for ~4 minutes at the default 1 s interval.
+  obs::SnapshotRing snapshot_ring{256};
+  std::optional<obs::ResourceSampler> sampler;
+
   [[nodiscard]] obs::TraceSink* trace() const {
     return options.trace_sink.get();
   }
+
+  [[nodiscard]] obs::Log* log() const { return options.log.get(); }
 
   struct Pending {
     FlowRequest request;
@@ -116,9 +126,12 @@ struct YieldServer::Impl {
 
   std::thread dispatcher;
   std::thread acceptor;
+  std::thread metrics_acceptor;
   std::optional<exec::ThreadPool> io_pool;
   int listen_fd = -1;
+  int metrics_fd = -1;
   std::uint16_t bound_port = 0;
+  std::uint16_t metrics_bound_port = 0;
 
   ServerStats stats_snapshot() const {
     ServerStats out;
@@ -144,6 +157,10 @@ struct YieldServer::Impl {
   /// "gauges"/"histograms" its levels and per-stage latencies, and
   /// "process" the process-wide exec.*/kernels.* metrics.
   std::string stats_payload() const {
+    // The "process" block should carry current RSS/CPU even when no
+    // background sampler runs — one synchronous /proc read per stats
+    // frame, well off the request path.
+    obs::refresh_resource_gauges();
     const obs::MetricsSnapshot own = registry.snapshot();
     const obs::MetricsSnapshot process = obs::Registry::global().snapshot();
     Json v = Json::object();
@@ -183,6 +200,12 @@ struct YieldServer::Impl {
     proc.set("gauges", std::move(proc_gauges));
     v.set("process", std::move(proc));
     return v.dump();
+  }
+
+  std::string metrics_text() const {
+    obs::refresh_resource_gauges();
+    return obs::render_openmetrics(registry.snapshot(),
+                                   obs::Registry::global().snapshot());
   }
 
   std::future<std::string> error_now(std::string_view code,
@@ -267,6 +290,9 @@ struct YieldServer::Impl {
           now >= pending.arrival + std::chrono::milliseconds(deadline)) {
         c_errors.add(1);
         c_deadline_sheds.add(1);
+        obs::LogEvent(log(), obs::LogLevel::Warn, "server.deadline_shed")
+            .num("deadline_ms", static_cast<std::int64_t>(deadline))
+            .str("trace_id", pending.request.trace_id);
         pending.promise.set_value(encode_error(
             "deadline_exceeded",
             "deadline of " + std::to_string(deadline) +
@@ -506,6 +532,85 @@ struct YieldServer::Impl {
     ::close(fd);
   }
 
+  // --- OpenMetrics HTTP endpoint -----------------------------------------
+
+  void metrics_accept_loop() {
+    while (!stop_flag.load(std::memory_order_relaxed)) {
+      pollfd pfd{metrics_fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, kPollSliceMs);
+      if (stop_flag.load(std::memory_order_relaxed)) return;
+      if (r <= 0) continue;
+      const int fd = ::accept(metrics_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      io_pool->post([this, fd] { serve_metrics_connection(fd); });
+    }
+  }
+
+  /// One HTTP/1.0 exchange: read the request head (bounded by size and
+  /// the idle timeout, so a slow-loris scraper can't pin a worker),
+  /// answer `GET /metrics`, close. Prometheus scrapes exactly this way.
+  void serve_metrics_connection(int fd) {
+    using clock = std::chrono::steady_clock;
+    const auto deadline =
+        clock::now() + std::chrono::milliseconds(options.idle_timeout_ms);
+    std::string head;
+    bool complete = false;
+    while (head.size() < 8192) {
+      if (stop_flag.load(std::memory_order_relaxed)) break;
+      if (clock::now() >= deadline) break;
+      pollfd pfd{fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, kPollSliceMs);
+      if (r < 0 && errno != EINTR) break;
+      if (r <= 0) continue;
+      char buf[1024];
+      const ssize_t k = ::recv(fd, buf, sizeof(buf), 0);
+      if (k <= 0) break;
+      head.append(buf, static_cast<std::size_t>(k));
+      if (head.find("\r\n\r\n") != std::string::npos ||
+          head.find("\n\n") != std::string::npos) {
+        complete = true;
+        break;
+      }
+    }
+    if (complete) {
+      const std::size_t eol = head.find_first_of("\r\n");
+      const std::string request_line =
+          head.substr(0, eol == std::string::npos ? head.size() : eol);
+      const std::size_t sp1 = request_line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : request_line.find(' ', sp1 + 1);
+      const std::string method =
+          sp1 == std::string::npos ? request_line
+                                   : request_line.substr(0, sp1);
+      std::string path = sp1 == std::string::npos || sp2 == std::string::npos
+                             ? std::string()
+                             : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+      path = path.substr(0, path.find('?'));
+      std::string status;
+      std::string content_type = "text/plain; charset=utf-8";
+      std::string body;
+      if (method != "GET") {
+        status = "405 Method Not Allowed";
+        body = "only GET is supported\n";
+      } else if (path != "/metrics") {
+        status = "404 Not Found";
+        body = "try /metrics\n";
+      } else {
+        status = "200 OK";
+        content_type = obs::kOpenMetricsContentType;
+        body = metrics_text();
+      }
+      std::string response = "HTTP/1.0 " + status +
+                             "\r\nContent-Type: " + content_type +
+                             "\r\nContent-Length: " +
+                             std::to_string(body.size()) +
+                             "\r\nConnection: close\r\n\r\n" + body;
+      write_all(fd, response);
+    }
+    ::close(fd);
+  }
+
   // --- protocol entry (shared by loopback and TCP) -----------------------
 
   std::future<std::string> submit_frame(std::string frame) {
@@ -523,6 +628,7 @@ struct YieldServer::Impl {
         return ready_future(
             encode_frame(FrameType::StatsReply, stats_payload()));
       case FrameType::Shutdown: {
+        obs::LogEvent(log(), obs::LogLevel::Info, "server.shutdown_frame");
         {
           const std::lock_guard<std::mutex> lock(shutdown_mutex);
           shutdown_requested = true;
@@ -560,6 +666,9 @@ struct YieldServer::Impl {
         // than queueing without bound. The caller's retry policy backs
         // off and resubmits; server memory stays bounded under overload.
         c_overload_rejects.add(1);
+        obs::LogEvent(log(), obs::LogLevel::Warn, "server.overload_reject")
+            .num("max_queue", static_cast<std::int64_t>(options.max_queue))
+            .str("trace_id", request.trace_id);
         return error_now("server_overloaded",
                          "admission queue is full (" +
                              std::to_string(options.max_queue) +
@@ -582,45 +691,89 @@ YieldServer::YieldServer(ServerOptions options)
 
 YieldServer::~YieldServer() { stop(); }
 
+namespace {
+
+/// Binds + listens a loopback TCP socket; returns {fd, bound_port}.
+/// Throws ServiceSetupError with `what_prefix` context on failure.
+std::pair<int, std::uint16_t> bind_loopback(std::uint16_t port,
+                                            const char* what_prefix) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw ServiceSetupError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 64) < 0) {
+    const std::string what = std::string(what_prefix) + " 127.0.0.1:" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno);
+    ::close(fd);
+    throw ServiceSetupError(what);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  return {fd, ntohs(bound.sin_port)};
+}
+
+}  // namespace
+
 void YieldServer::start() {
   Impl& impl = *impl_;
   CNY_EXPECT_MSG(!impl.started, "YieldServer::start() called twice");
   impl.started = true;
-  if (impl.options.listen) {
+  if (impl.options.listen || impl.options.metrics_listen) {
     // Every send already passes MSG_NOSIGNAL, but a library the server
     // links could write to a dead pipe too — a peer dying mid-frame must
     // never take the process down (regression-tested in test_service).
     std::signal(SIGPIPE, SIG_IGN);
-    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0) {
-      throw ServiceSetupError(std::string("socket: ") + std::strerror(errno));
-    }
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(impl.options.port);
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-            0 ||
-        ::listen(fd, 64) < 0) {
-      const std::string what = std::string("bind/listen 127.0.0.1:") +
-                               std::to_string(impl.options.port) + ": " +
-                               std::strerror(errno);
-      ::close(fd);
-      throw ServiceSetupError(what);
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
-    impl.bound_port = ntohs(bound.sin_port);
-    impl.listen_fd = fd;
     // Connection handlers block on socket reads, so give them more lanes
     // than the (possibly single-core) compute pool would get.
     impl.io_pool.emplace(std::max(4u, exec::hardware_threads()));
+  }
+  if (impl.options.listen) {
+    std::tie(impl.listen_fd, impl.bound_port) =
+        bind_loopback(impl.options.port, "bind/listen");
     impl.acceptor = std::thread([&impl] { impl.accept_loop(); });
   }
+  if (impl.options.metrics_listen) {
+    std::tie(impl.metrics_fd, impl.metrics_bound_port) =
+        bind_loopback(impl.options.metrics_port, "bind/listen (metrics)");
+    impl.metrics_acceptor = std::thread([&impl] { impl.metrics_accept_loop(); });
+  }
+  if (impl.options.sample_interval_ms > 0) {
+    obs::ResourceSampler::Options sampler_options;
+    sampler_options.interval_ms = impl.options.sample_interval_ms;
+    sampler_options.ring = &impl.snapshot_ring;
+    sampler_options.export_path = impl.options.snapshot_export_path;
+    // Each ring entry carries this server's counters plus the process-wide
+    // gauges (exec.*, process.*) so one time series answers both "how fast"
+    // and "how big".
+    sampler_options.snapshot_source = [&impl] {
+      obs::MetricsSnapshot merged = impl.registry.snapshot();
+      const obs::MetricsSnapshot process =
+          obs::Registry::global().snapshot();
+      merged.counters.insert(merged.counters.end(),
+                             process.counters.begin(),
+                             process.counters.end());
+      merged.gauges.insert(merged.gauges.end(), process.gauges.begin(),
+                           process.gauges.end());
+      return merged;
+    };
+    impl.sampler.emplace(std::move(sampler_options));
+  }
   impl.dispatcher = std::thread([&impl] { impl.dispatch_loop(); });
+  obs::LogEvent(impl.log(), obs::LogLevel::Info, "server.start")
+      .num("port", impl.options.listen ? impl.bound_port : 0)
+      .num("metrics_port",
+           impl.options.metrics_listen ? impl.metrics_bound_port : 0)
+      .num("sample_interval_ms", impl.options.sample_interval_ms);
 }
 
 void YieldServer::stop() {
@@ -649,16 +802,31 @@ void YieldServer::stop() {
     impl.g_queue_depth.set(0);
   }
   if (impl.acceptor.joinable()) impl.acceptor.join();
+  if (impl.metrics_acceptor.joinable()) impl.metrics_acceptor.join();
   impl.io_pool.reset();
   if (impl.listen_fd >= 0) {
     ::close(impl.listen_fd);
     impl.listen_fd = -1;
   }
+  if (impl.metrics_fd >= 0) {
+    ::close(impl.metrics_fd);
+    impl.metrics_fd = -1;
+  }
+  impl.sampler.reset();
+  obs::LogEvent(impl.log(), obs::LogLevel::Info, "server.stop")
+      .num("frames_in", static_cast<std::int64_t>(impl.c_frames_in.value()))
+      .num("responses", static_cast<std::int64_t>(impl.c_responses.value()))
+      .num("errors", static_cast<std::int64_t>(impl.c_errors.value()));
 }
 
 void YieldServer::drain() {
   Impl& impl = *impl_;
   if (!impl.started || impl.stopped) return;
+  obs::LogEvent(impl.log(), obs::LogLevel::Info, "server.drain")
+      .num("queued", [&impl] {
+        const std::lock_guard<std::mutex> lock(impl.queue_mutex);
+        return static_cast<std::int64_t>(impl.queue.size());
+      }());
   {
     std::unique_lock<std::mutex> lock(impl.queue_mutex);
     // Under queue_mutex, so no FlowRequest can slip past the draining
@@ -673,6 +841,10 @@ void YieldServer::drain() {
 }
 
 std::uint16_t YieldServer::port() const { return impl_->bound_port; }
+
+std::uint16_t YieldServer::metrics_port() const {
+  return impl_->metrics_bound_port;
+}
 
 std::future<std::string> YieldServer::submit(std::string frame) {
   Impl& impl = *impl_;
@@ -745,5 +917,9 @@ bool YieldServer::wait_shutdown_for(unsigned timeout_ms) {
 ServerStats YieldServer::stats() const { return impl_->stats_snapshot(); }
 
 std::string YieldServer::stats_json() const { return impl_->stats_payload(); }
+
+std::string YieldServer::metrics_text() const {
+  return impl_->metrics_text();
+}
 
 }  // namespace cny::service

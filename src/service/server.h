@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "service/faults.h"
 #include "service/protocol.h"
@@ -73,6 +74,23 @@ struct ServerOptions {
   /// Null = tracing off, which is guaranteed zero-perturbation: responses
   /// and stores are byte-identical either way (pinned in tests).
   std::shared_ptr<obs::TraceSink> trace_sink;
+  /// Engage the OpenMetrics HTTP listener: `GET /metrics` on
+  /// 127.0.0.1:metrics_port answers the text exposition format. Port 0
+  /// binds ephemeral — read it back with YieldServer::metrics_port().
+  /// Served off the same exec::ThreadPool as the wire protocol.
+  bool metrics_listen = false;
+  std::uint16_t metrics_port = 0;
+  /// Structured JSONL event log (lifecycle, evictions, overload rejects,
+  /// deadline sheds). Null = logging off; same zero-perturbation contract
+  /// as tracing.
+  std::shared_ptr<obs::Log> log;
+  /// Milliseconds between background resource samples (process.* gauges
+  /// plus one SnapshotRing entry per tick). 0 = sampler off; scrapes and
+  /// stats frames still refresh the gauges synchronously.
+  unsigned sample_interval_ms = 0;
+  /// When non-empty (with the sampler on), each tick appends one
+  /// self-contained snapshot JSONL line here.
+  std::string snapshot_export_path;
 };
 
 /// A point-in-time view over the server's obs::Registry counters (each
@@ -121,6 +139,9 @@ class YieldServer {
   /// The bound TCP port (listen mode, after start()).
   [[nodiscard]] std::uint16_t port() const;
 
+  /// The bound /metrics port (metrics_listen mode, after start()).
+  [[nodiscard]] std::uint16_t metrics_port() const;
+
   /// Loopback entry: one request frame in, one response frame out, through
   /// the full protocol path. Ping/Shutdown/malformed frames resolve
   /// immediately; FlowRequests resolve after their coalesced batch runs.
@@ -142,6 +163,11 @@ class YieldServer {
   /// the CLI's shutdown log, `stats` subcommand and `--ping` all render
   /// one format.
   [[nodiscard]] std::string stats_json() const;
+
+  /// The OpenMetrics text page `GET /metrics` serves (this server's
+  /// registry plus the process-wide one, resource gauges refreshed) —
+  /// exposed socket-free so tests and tools render the exact scrape body.
+  [[nodiscard]] std::string metrics_text() const;
 
  private:
   struct Impl;

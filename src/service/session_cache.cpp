@@ -116,10 +116,12 @@ SessionCache::SessionCache(std::size_t capacity,
 }
 
 void SessionCache::attach_observability(obs::Registry* registry,
-                                        obs::TraceSink* sink) {
+                                        obs::TraceSink* sink, obs::Log* log) {
   trace_ = sink;
+  log_ = log;
   if (registry != nullptr) {
     built_counter_ = &registry->counter("sessions_built");
+    occupancy_gauge_ = &registry->gauge("sessions_cached");
     warm_histogram_ = &registry->histogram("session_warm_us");
     build_histogram_ = &registry->histogram("interpolant_build_us");
   }
@@ -153,8 +155,19 @@ std::shared_ptr<const Session> SessionCache::acquire(const SessionKey& key) {
             .count()));
   }
   if (built_counter_ != nullptr) built_counter_->add(1);
+  obs::LogEvent(log_, obs::LogLevel::Info, "session.built")
+      .str("session", canonical)
+      .num("cached", static_cast<std::int64_t>(sessions_.size() + 1));
   sessions_.insert(sessions_.begin(), session);
-  if (sessions_.size() > capacity_) sessions_.pop_back();
+  if (sessions_.size() > capacity_) {
+    obs::LogEvent(log_, obs::LogLevel::Info, "session.evicted")
+        .str("session", sessions_.back()->canonical())
+        .num("capacity", static_cast<std::int64_t>(capacity_));
+    sessions_.pop_back();
+  }
+  if (occupancy_gauge_ != nullptr) {
+    occupancy_gauge_->set(static_cast<std::int64_t>(sessions_.size()));
+  }
   ++built_;
   return session;
 }

@@ -25,6 +25,7 @@
 #include "celllib/library.h"
 #include "device/failure_model.h"
 #include "netlist/design.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/protocol.h"
@@ -97,10 +98,12 @@ class SessionCache {
 
   /// Attaches observability: cache misses bump `registry`'s
   /// "sessions_built" counter and feed its "session_warm_us" /
-  /// "interpolant_build_us" histograms, and emit "session_warm" /
-  /// "interpolant_build" spans on `sink` (either may be null). Call before
+  /// "interpolant_build_us" histograms, emit "session_warm" /
+  /// "interpolant_build" spans on `sink`, and write session.built /
+  /// session.evicted events to `log` (any may be null). Call before
   /// serving — the hooks are read unlocked on the acquire path.
-  void attach_observability(obs::Registry* registry, obs::TraceSink* sink);
+  void attach_observability(obs::Registry* registry, obs::TraceSink* sink,
+                            obs::Log* log = nullptr);
 
   /// The warm session for `key`; builds it on a miss. Building holds the
   /// cache lock (misses are rare and seconds-long; concurrent requests for
@@ -116,7 +119,9 @@ class SessionCache {
   std::size_t interpolant_knots_;
   unsigned n_threads_;
   obs::TraceSink* trace_ = nullptr;
+  obs::Log* log_ = nullptr;
   obs::Counter* built_counter_ = nullptr;
+  obs::Gauge* occupancy_gauge_ = nullptr;
   obs::Histogram* warm_histogram_ = nullptr;
   obs::Histogram* build_histogram_ = nullptr;
   mutable std::mutex mutex_;

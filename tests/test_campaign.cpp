@@ -37,6 +37,7 @@
 #include "cnt/removal_tradeoff.h"
 #include "device/failure_model.h"
 #include "netlist/design_generator.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "service/json.h"
 #include "service/protocol.h"
@@ -719,9 +720,10 @@ TEST(CampaignRunner, RetryExhaustionThrowsAndNeverPoisonsTheStore) {
 // --- observability ---------------------------------------------------------
 
 // The strongest zero-perturbation check in the suite: a campaign traced
-// to a sink *and* writing a progress sidecar, through a fault-injecting
-// server, lands the byte-identical store of an untraced fault-free run.
-// Tracing, progress, and chaos together must not move a single store byte.
+// to a sink, writing a progress sidecar, *and* logging structured events,
+// through a fault-injecting server, lands the byte-identical store of an
+// untraced fault-free run. Tracing, logging, progress, and chaos together
+// must not move a single store byte.
 TEST(CampaignRunner, TracedChaosStoreIsByteIdenticalToUntracedFaultFree) {
   CampaignSpec spec = cheap_campaign();
   spec.axes[0].values = "1:1:8";
@@ -737,9 +739,14 @@ TEST(CampaignRunner, TracedChaosStoreIsByteIdenticalToUntracedFaultFree) {
       ::testing::TempDir() + "campaign_chaos_trace.jsonl";
   const std::string progress_path =
       ::testing::TempDir() + "campaign_chaos_progress.jsonl";
+  const std::string log_path =
+      ::testing::TempDir() + "campaign_chaos_events.jsonl";
   ResultStore traced;
   options.trace_sink = std::make_shared<obs::TraceSink>(trace_path);
   options.progress_path = progress_path;
+  if (obs::logging_compiled()) {
+    options.log = std::make_shared<obs::Log>(log_path, obs::LogLevel::Debug);
+  }
   service::FaultPlanOptions faults;
   faults.seed = 11;
   faults.period = 2;
@@ -763,8 +770,24 @@ TEST(CampaignRunner, TracedChaosStoreIsByteIdenticalToUntracedFaultFree) {
     buffer << trace.rdbuf();
     EXPECT_NE(buffer.str().find("\"campaign.chunk\""), std::string::npos);
   }
+  if (obs::logging_compiled()) {
+    // The log must actually have logged lifecycle + retry events (the
+    // chaos forces retry_rounds > 0) — no vacuous pass.
+    std::ifstream log(log_path);
+    std::stringstream buffer;
+    buffer << log.rdbuf();
+    EXPECT_NE(buffer.str().find("\"event\":\"campaign.start\""),
+              std::string::npos);
+    EXPECT_NE(buffer.str().find("\"event\":\"campaign.checkpoint\""),
+              std::string::npos);
+    EXPECT_NE(buffer.str().find("\"event\":\"campaign.retry_round\""),
+              std::string::npos);
+    EXPECT_NE(buffer.str().find("\"event\":\"campaign.finish\""),
+              std::string::npos);
+  }
   std::remove(trace_path.c_str());
   std::remove(progress_path.c_str());
+  std::remove(log_path.c_str());
 }
 
 TEST(CampaignRunner, ProgressSidecarRecordsOneHonestLinePerChunk) {
@@ -794,6 +817,10 @@ TEST(CampaignRunner, ProgressSidecarRecordsOneHonestLinePerChunk) {
     EXPECT_GE(entry.at("sessions_built").as_u64(), 1u);
     ASSERT_NE(entry.find("eta_ms"), nullptr);
     ASSERT_NE(entry.find("elapsed_ms"), nullptr);
+    // Resource columns: each checkpoint samples /proc, so on Linux both
+    // are live figures and the high water bounds the current RSS.
+    EXPECT_GT(entry.at("rss_kb").as_u64(), 0u);
+    EXPECT_GE(entry.at("vm_hwm_kb").as_u64(), entry.at("rss_kb").as_u64());
   }
   EXPECT_EQ(previous_done, points.size());
   // The final line's ETA is zero: nothing left to extrapolate.

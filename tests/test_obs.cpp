@@ -6,8 +6,18 @@
 //     tracked max, concurrent hammering loses no observation;
 //   * trace sink: the JSONL file is tolerant-parseable line by line
 //     (Chrome trace-event shape), args are JSON-escaped, a null-sink Span
-//     is inert, and trace ids are process-unique.
-// The *zero-perturbation* half of the contract — tracing changes no
+//     is inert, and trace ids are process-unique;
+//   * snapshot ring: oldest-first indexing survives wraparound, rates are
+//     per-second with zero-interval and backwards-counter guards;
+//   * resource accounting: the /proc parsers against synthetic text
+//     (including a comm full of spaces and parens), a live sample, and a
+//     deterministic sampler tick feeding gauges + ring + JSONL export;
+//   * openmetrics: name sanitisation and the rendered exposition's
+//     structural invariants (TYPE lines, _total, cumulative buckets,
+//     +Inf == count, # EOF);
+//   * log: JSONL event lines parse with escaped strings and bare numbers,
+//     levels filter, a LogEvent over a null Log is inert.
+// The *zero-perturbation* half of the contract — telemetry changes no
 // response or store byte — is pinned where the bytes live:
 // tests/test_service.cpp and tests/test_campaign.cpp.
 #include <gtest/gtest.h>
@@ -20,7 +30,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/resource.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "service/json.h"
 
@@ -257,6 +271,351 @@ TEST(ObsTrace, CleanlyClosedTraceIsOneValidJsonArray) {
 TEST(ObsTrace, SinkThrowsOnUnopenablePath) {
   if (!obs::tracing_compiled()) GTEST_SKIP() << "built with CNY_OBS=OFF";
   EXPECT_THROW(obs::TraceSink("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+// --- histogram quantile edges ----------------------------------------------
+
+TEST(ObsHistogram, QuantileEdgeCases) {
+  // Empty: every quantile is 0, mean is 0 — never NaN or a divide.
+  const obs::HistogramSnapshot empty{};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+  // Single observation: quantiles interpolate inside the hit bucket
+  // ([32, 63] for 37), clamped at the top to the exact max — so every
+  // quantile lies in [bucket lo, observation].
+  obs::Histogram one;
+  one.observe(37);
+  const obs::HistogramSnapshot single = one.snapshot();
+  for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_GE(single.quantile(q), 32.0) << "q=" << q;
+    EXPECT_LE(single.quantile(q), 37.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 37.0);
+  EXPECT_DOUBLE_EQ(single.mean(), 37.0);
+
+  // All observations in one bucket: quantiles interpolate inside [lo, hi]
+  // of that bucket and stay clamped to the exact max.
+  obs::Histogram packed;
+  for (int i = 0; i < 100; ++i) packed.observe(20);  // bucket [16, 31]
+  const obs::HistogramSnapshot snap = packed.snapshot();
+  const auto [lo, hi] = obs::Histogram::bucket_bounds(
+      obs::Histogram::bucket_of(20));
+  for (const double q : {0.01, 0.5, 0.95, 0.99}) {
+    EXPECT_GE(snap.quantile(q), static_cast<double>(lo)) << "q=" << q;
+    EXPECT_LE(snap.quantile(q), 20.0) << "q=" << q;  // clamped to max
+  }
+
+  // Max-clamp bucket (63): interpolation stays inside the clamped top
+  // bucket [2^62, uint64 max] and never exceeds the exact tracked max,
+  // which q=1 reports verbatim.
+  obs::Histogram top;
+  top.observe(~std::uint64_t{0});
+  top.observe(std::uint64_t{1} << 62);
+  const obs::HistogramSnapshot top_snap = top.snapshot();
+  EXPECT_EQ(top_snap.buckets[63], 2u);
+  EXPECT_GE(top_snap.quantile(0.99),
+            static_cast<double>(std::uint64_t{1} << 62));
+  EXPECT_LE(top_snap.quantile(0.99),
+            static_cast<double>(~std::uint64_t{0}));
+  EXPECT_DOUBLE_EQ(top_snap.quantile(1.0),
+                   static_cast<double>(~std::uint64_t{0}));
+}
+
+// --- snapshot ring ---------------------------------------------------------
+
+namespace {
+
+obs::TimedSnapshot timed(std::uint64_t mono_us, std::uint64_t frames) {
+  obs::TimedSnapshot snap;
+  snap.wall_ms = mono_us / 1000;
+  snap.mono_us = mono_us;
+  snap.metrics.counters = {{"frames_in", frames}};
+  return snap;
+}
+
+}  // namespace
+
+TEST(ObsSnapshot, RingWrapsOldestFirst) {
+  obs::SnapshotRing ring(3);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_THROW((void)ring.at(0), std::out_of_range);
+
+  for (std::uint64_t i = 1; i <= 5; ++i) ring.push(timed(i * 1'000'000, i));
+  // Pushed 1..5 into capacity 3: 1 and 2 fell off, oldest-first is 3,4,5.
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.at(0).metrics.counters[0].second, 3u);
+  EXPECT_EQ(ring.at(1).metrics.counters[0].second, 4u);
+  EXPECT_EQ(ring.at(2).metrics.counters[0].second, 5u);
+  EXPECT_THROW((void)ring.at(3), std::out_of_range);
+}
+
+TEST(ObsSnapshot, CounterRatesArePerSecond) {
+  const auto rates = obs::counter_rates(timed(1'000'000, 10),
+                                        timed(3'000'000, 50));
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_EQ(rates[0].first, "frames_in");
+  EXPECT_DOUBLE_EQ(rates[0].second, 20.0);  // 40 frames over 2 s
+}
+
+TEST(ObsSnapshot, RatesGuardZeroIntervalAndBackwardsCounters) {
+  // Zero (or negative) interval: all rates are 0, never a division blow-up.
+  const auto zero = obs::counter_rates(timed(5'000'000, 10),
+                                       timed(5'000'000, 99));
+  ASSERT_EQ(zero.size(), 1u);
+  EXPECT_DOUBLE_EQ(zero[0].second, 0.0);
+  const auto backwards_time = obs::counter_rates(timed(5'000'000, 10),
+                                                 timed(4'000'000, 99));
+  ASSERT_EQ(backwards_time.size(), 1u);
+  EXPECT_DOUBLE_EQ(backwards_time[0].second, 0.0);
+
+  // A counter that goes backwards (server restarted into the same ring)
+  // clamps its delta to 0 instead of reporting a huge negative rate.
+  const auto shrunk = obs::counter_rates(timed(1'000'000, 100),
+                                         timed(2'000'000, 5));
+  ASSERT_EQ(shrunk.size(), 1u);
+  EXPECT_DOUBLE_EQ(shrunk[0].second, 0.0);
+}
+
+TEST(ObsSnapshot, RatesSkipCountersPresentOnOneSideOnly) {
+  obs::TimedSnapshot from = timed(1'000'000, 10);
+  obs::TimedSnapshot to = timed(2'000'000, 30);
+  to.metrics.counters.push_back({"new_counter", 7});
+  const auto rates = obs::counter_rates(from, to);
+  ASSERT_EQ(rates.size(), 1u);  // new_counter appeared mid-window: skipped
+  EXPECT_EQ(rates[0].first, "frames_in");
+  EXPECT_DOUBLE_EQ(rates[0].second, 20.0);
+}
+
+TEST(ObsSnapshot, LatestRatesNeedTwoEntries) {
+  obs::SnapshotRing ring(4);
+  EXPECT_TRUE(ring.latest_rates().empty());
+  ring.push(timed(1'000'000, 10));
+  EXPECT_TRUE(ring.latest_rates().empty());
+  ring.push(timed(2'000'000, 40));
+  const auto rates = ring.latest_rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].second, 30.0);
+}
+
+TEST(ObsSnapshot, JsonlLineIsSelfContainedAndParses) {
+  obs::TimedSnapshot snap = timed(1'500'000, 42);
+  snap.metrics.gauges = {{"queue_depth", -3}};
+  const std::string line = obs::snapshot_jsonl_line(snap);
+  const service::Json parsed = service::Json::parse(line);
+  EXPECT_EQ(parsed.at("wall_ms").as_u64(), 1500u);
+  EXPECT_EQ(parsed.at("mono_us").as_u64(), 1'500'000u);
+  EXPECT_EQ(parsed.at("counters").at("frames_in").as_u64(), 42u);
+  EXPECT_EQ(parsed.at("gauges").at("queue_depth").as_double(), -3.0);
+}
+
+// --- resource accounting ---------------------------------------------------
+
+TEST(ObsResource, ParseStatusText) {
+  obs::ResourceUsage usage;
+  obs::parse_status_text(
+      "Name:\tcntyield\nVmPeak:\t  999999 kB\nVmRSS:\t   6348 kB\n"
+      "VmHWM:\t    6496 kB\nThreads:\t9\n",
+      usage);
+  EXPECT_EQ(usage.rss_kb, 6348u);
+  EXPECT_EQ(usage.vm_hwm_kb, 6496u);
+  EXPECT_EQ(usage.threads, 9u);
+}
+
+TEST(ObsResource, ParseStatTextHandlesHostileComm) {
+  // The comm field is the *process's own name*, parenthesised — it may
+  // contain spaces and parentheses, so field counting must start after the
+  // LAST ')'. utime/stime are stat fields 14/15 (1-based).
+  obs::ResourceUsage usage;
+  obs::parse_stat_text(
+      "1234 (a (evil) name) S 1 1234 1234 0 -1 4194304 500 0 0 0 "
+      "200 100 0 0 20 0 9 0 12345 1000000 1587 18446744073709551615",
+      100, usage);  // 100 ticks/s: 1 tick = 10 ms
+  EXPECT_EQ(usage.cpu_user_ms, 2000u);  // 200 ticks
+  EXPECT_EQ(usage.cpu_sys_ms, 1000u);   // 100 ticks
+}
+
+TEST(ObsResource, LiveSampleLooksLikeAProcess) {
+  // On Linux /proc is real: the sample must succeed and be sane. (ok ==
+  // false would be the non-/proc platform path; CI runs Linux.)
+  const obs::ResourceUsage usage = obs::sample_resources();
+  ASSERT_TRUE(usage.ok);
+  EXPECT_GT(usage.rss_kb, 0u);
+  EXPECT_GE(usage.vm_hwm_kb, usage.rss_kb);  // high water >= current
+  EXPECT_GE(usage.threads, 1u);
+  EXPECT_GT(usage.open_fds, 0u);
+}
+
+TEST(ObsResource, SamplerFeedsGaugesRingAndExport) {
+  const std::string path = ::testing::TempDir() + "obs_sampler_export.jsonl";
+  obs::Registry registry;
+  registry.counter("frames_in").add(5);
+  obs::SnapshotRing ring(8);
+  obs::ResourceSampler::Options options;
+  options.interval_ms = 3'600'000;  // effectively manual: sample_now drives
+  options.registry = &registry;
+  options.ring = &ring;
+  options.snapshot_source = [&registry] { return registry.snapshot(); };
+  options.export_path = path;
+  {
+    obs::ResourceSampler sampler(options);
+    // Construction takes the first sample synchronously.
+    EXPECT_GE(ring.size(), 1u);
+    EXPECT_GT(registry.gauge("process.rss_kb").value(), 0);
+    EXPECT_GT(registry.gauge("process.threads").value(), 0);
+    registry.counter("frames_in").add(5);
+    sampler.sample_now();
+    EXPECT_GE(ring.size(), 2u);
+  }  // destructor stops and joins the thread
+  // The ring's newest entry carries the registry snapshot (counters
+  // included), so rates are computable from it.
+  const obs::TimedSnapshot newest = ring.at(ring.size() - 1);
+  bool found = false;
+  for (const auto& [name, value] : newest.metrics.counters) {
+    if (name == "frames_in") {
+      EXPECT_EQ(value, 10u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Export: one self-contained parseable JSON line per tick.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line); ++lines) {
+    const service::Json parsed = service::Json::parse(line);
+    EXPECT_GT(parsed.at("mono_us").as_u64(), 0u);
+    (void)parsed.at("counters");
+  }
+  EXPECT_GE(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsResource, SamplerThrowsOnUnopenableExportPath) {
+  obs::ResourceSampler::Options options;
+  options.export_path = "/nonexistent-dir/snap.jsonl";
+  EXPECT_THROW(obs::ResourceSampler sampler(options), std::runtime_error);
+}
+
+// --- openmetrics -----------------------------------------------------------
+
+TEST(ObsOpenMetrics, NameSanitisation) {
+  EXPECT_EQ(obs::openmetrics_name("frames_in"), "cny_frames_in");
+  EXPECT_EQ(obs::openmetrics_name("process.rss_kb"), "cny_process_rss_kb");
+  EXPECT_EQ(obs::openmetrics_name("exec.queue-depth!"),
+            "cny_exec_queue_depth_");
+}
+
+TEST(ObsOpenMetrics, RenderedExpositionIsStructurallyValid) {
+  obs::Registry server;
+  server.counter("responses").add(7);
+  server.gauge("queue_depth").set(-2);
+  obs::Histogram& h = server.histogram("evaluate_us");
+  h.observe(20);   // bucket [16, 31]
+  h.observe(100);  // bucket [64, 127]
+  obs::Registry process;
+  process.gauge("process.rss_kb").set(4096);
+  process.counter("exec.tasks_posted").add(3);
+
+  const std::string text =
+      obs::render_openmetrics(server.snapshot(), process.snapshot());
+
+  // Counters: TYPE line + _total sample.
+  EXPECT_NE(text.find("# TYPE cny_responses counter\n"), std::string::npos);
+  EXPECT_NE(text.find("cny_responses_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("cny_exec_tasks_posted_total 3\n"), std::string::npos);
+  // Gauges keep their value verbatim (negatives included).
+  EXPECT_NE(text.find("# TYPE cny_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("cny_queue_depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("cny_process_rss_kb 4096\n"), std::string::npos);
+  // Histogram: cumulative le buckets, +Inf == count, sum and count.
+  EXPECT_NE(text.find("# TYPE cny_evaluate_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cny_evaluate_us_bucket{le=\"31\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cny_evaluate_us_bucket{le=\"127\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cny_evaluate_us_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cny_evaluate_us_sum 120\n"), std::string::npos);
+  EXPECT_NE(text.find("cny_evaluate_us_count 2\n"), std::string::npos);
+  // Exactly one terminating EOF marker, at the very end.
+  const std::string eof = "# EOF\n";
+  EXPECT_EQ(text.rfind(eof), text.size() - eof.size());
+  EXPECT_EQ(text.find(eof), text.rfind(eof));
+}
+
+TEST(ObsOpenMetrics, CollisionsFavourTheServerSnapshot) {
+  obs::Registry server;
+  server.counter("frames_in").add(11);
+  obs::Registry process;
+  process.counter("frames_in").add(99);
+  const std::string text =
+      obs::render_openmetrics(server.snapshot(), process.snapshot());
+  EXPECT_NE(text.find("cny_frames_in_total 11\n"), std::string::npos);
+  EXPECT_EQ(text.find("cny_frames_in_total 99\n"), std::string::npos);
+  // Declared once, not twice.
+  const std::string type_line = "# TYPE cny_frames_in counter\n";
+  EXPECT_EQ(text.find(type_line), text.rfind(type_line));
+}
+
+// --- structured log --------------------------------------------------------
+
+TEST(ObsLog, LevelNamesRoundTrip) {
+  EXPECT_EQ(obs::log_level_name(obs::LogLevel::Debug), "debug");
+  EXPECT_EQ(obs::log_level_name(obs::LogLevel::Error), "error");
+  obs::LogLevel level = obs::LogLevel::Info;
+  EXPECT_TRUE(obs::log_level_from_name("warn", level));
+  EXPECT_EQ(level, obs::LogLevel::Warn);
+  EXPECT_FALSE(obs::log_level_from_name("loud", level));
+  EXPECT_EQ(level, obs::LogLevel::Warn) << "failed parse must not clobber";
+}
+
+TEST(ObsLog, NullLogEventIsInert) {
+  // Call sites are unconditional; a null Log must cost one pointer test.
+  obs::LogEvent(nullptr, obs::LogLevel::Error, "server.start")
+      .str("key", "value")
+      .num("n", 42);
+}
+
+TEST(ObsLog, WritesParseableLeveledJsonl) {
+  if (!obs::logging_compiled()) GTEST_SKIP() << "built with CNY_OBS=OFF";
+  const std::string path = ::testing::TempDir() + "obs_log_test.jsonl";
+  {
+    obs::Log log(path, obs::LogLevel::Info);
+    EXPECT_TRUE(log.enabled(obs::LogLevel::Warn));
+    EXPECT_FALSE(log.enabled(obs::LogLevel::Debug));
+    obs::LogEvent(&log, obs::LogLevel::Info, "server.start")
+        .num("port", 9000)
+        .str("session", "{\"library\":\"nangate45\"}");  // needs escaping
+    obs::LogEvent(&log, obs::LogLevel::Debug, "invisible").num("x", 1);
+    obs::LogEvent(&log, obs::LogLevel::Warn, "server.overload_reject")
+        .num("max_queue", -1);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u) << "debug event below min level must not write";
+  const service::Json first = service::Json::parse(lines[0]);
+  EXPECT_GT(first.at("ts_ms").as_u64(), 0u);
+  EXPECT_EQ(first.at("level").as_string(), "info");
+  EXPECT_EQ(first.at("event").as_string(), "server.start");
+  EXPECT_EQ(first.at("port").as_u64(), 9000u);
+  EXPECT_EQ(first.at("session").as_string(), "{\"library\":\"nangate45\"}");
+  const service::Json second = service::Json::parse(lines[1]);
+  EXPECT_EQ(second.at("level").as_string(), "warn");
+  EXPECT_EQ(second.at("max_queue").as_double(), -1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLog, ThrowsOnUnopenablePath) {
+  if (!obs::logging_compiled()) GTEST_SKIP() << "built with CNY_OBS=OFF";
+  EXPECT_THROW(obs::Log("/nonexistent-dir/events.jsonl"),
                std::runtime_error);
 }
 

@@ -38,6 +38,8 @@
 #include "cnt/removal_tradeoff.h"
 #include "device/failure_model.h"
 #include "netlist/design_generator.h"
+#include "obs/log.h"
+#include "obs/openmetrics.h"
 #include "obs/trace.h"
 #include "service/client.h"
 #include "service/faults.h"
@@ -1178,6 +1180,187 @@ TEST(ServiceServer, EveryStatsCounterIsExercisedSomewhere) {
   EXPECT_EQ(names, expected)
       << "stats payload counters drifted from the pinned set — extend this "
          "test to exercise any new counter";
+}
+
+// --- continuous telemetry --------------------------------------------------
+
+namespace {
+
+/// Raw HTTP exchange with the metrics endpoint: send `request_text`, read
+/// to EOF (the server replies HTTP/1.0 Connection: close).
+std::string http_exchange(std::uint16_t port, const std::string& request_text) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::size_t sent = 0;
+  while (sent < request_text.size()) {
+    const ssize_t n =
+        ::send(fd, request_text.data() + sent, request_text.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    reply.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace
+
+TEST(ServiceServer, MetricsEndpointServesOpenMetricsOverHttp) {
+  auto options = loopback_options();
+  options.metrics_listen = true;
+  options.metrics_port = 0;  // ephemeral
+  service::YieldServer server(options);
+  server.start();
+  ASSERT_NE(server.metrics_port(), 0);
+  (void)server.submit(service::encode_flow_request(small_request(1, 0.9)))
+      .get();
+
+  const std::string reply = http_exchange(
+      server.metrics_port(),
+      "GET /metrics HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n");
+  EXPECT_EQ(reply.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find(std::string("Content-Type: ") +
+                       obs::kOpenMetricsContentType),
+            std::string::npos);
+  const auto body_at = reply.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = reply.substr(body_at + 4);
+  EXPECT_NE(body.find("# TYPE cny_responses counter\n"), std::string::npos);
+  EXPECT_NE(body.find("cny_responses_total 1\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE cny_evaluate_us histogram\n"),
+            std::string::npos);
+  EXPECT_EQ(body.rfind("# EOF\n"), body.size() - 6);
+  // Content-Length matches the body exactly (scrapers rely on it).
+  const auto length_at = reply.find("Content-Length: ");
+  ASSERT_NE(length_at, std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::stoul(reply.substr(length_at + 16))),
+            body.size());
+
+  // A GET anywhere else is 404; a non-GET method is 405. Both answered,
+  // connection closed, server keeps serving.
+  EXPECT_EQ(http_exchange(server.metrics_port(),
+                          "GET /nope HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 404", 0),
+            0u);
+  EXPECT_EQ(http_exchange(server.metrics_port(),
+                          "POST /metrics HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 405", 0),
+            0u);
+  const std::string again = http_exchange(
+      server.metrics_port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(again.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  server.stop();
+}
+
+// Exposition-coverage acceptance: every counter, gauge, and histogram the
+// canonical stats payload exposes (including the process block) appears in
+// the OpenMetrics rendering under its sanitised name — so a metric added
+// to the payload but dropped by the renderer (or vice versa) fails here.
+TEST(ServiceServer, MetricsTextCoversEveryStatsPayloadMetric) {
+  service::YieldServer server(loopback_options());
+  server.start();
+  (void)server.submit(service::encode_flow_request(small_request(1, 0.9)))
+      .get();
+  const Json payload = Json::parse(server.stats_json());
+  const std::string text = server.metrics_text();
+
+  std::size_t checked = 0;
+  const auto expect_family = [&](const std::string& name, const char* kind) {
+    const std::string type_line =
+        "# TYPE " + obs::openmetrics_name(name) + " " + kind + "\n";
+    EXPECT_NE(text.find(type_line), std::string::npos)
+        << "stats payload metric '" << name
+        << "' missing from /metrics (wanted: " << type_line << ")";
+    ++checked;
+  };
+  for (const auto& [name, value] : payload.at("stats").members()) {
+    expect_family(name, "counter");
+  }
+  for (const auto& [name, value] : payload.at("gauges").members()) {
+    expect_family(name, "gauge");
+  }
+  for (const auto& [name, value] : payload.at("histograms").members()) {
+    expect_family(name, "histogram");
+  }
+  for (const auto& [name, value] :
+       payload.at("process").at("counters").members()) {
+    expect_family(name, "counter");
+  }
+  for (const auto& [name, value] :
+       payload.at("process").at("gauges").members()) {
+    expect_family(name, "gauge");
+  }
+  EXPECT_GE(checked, 20u) << "payload suspiciously empty — coverage loop "
+                             "not enumerating?";
+  server.stop();
+}
+
+// The zero-perturbation acceptance test for *continuous* telemetry: the
+// same request produces the same response bytes with the full stack on —
+// structured log, metrics endpoint, background resource sampler with
+// snapshot export — as with everything off (and, cross-build, as
+// CNY_OBS=OFF; CI compares the store bytes there).
+TEST(ServiceServer, ResponsesAreByteIdenticalWithTelemetryFullyOn) {
+  const std::string frame =
+      service::encode_flow_request(small_request(1, 0.9));
+  std::string plain;
+  {
+    service::YieldServer server(loopback_options());
+    server.start();
+    plain = server.submit(frame).get();
+    server.stop();
+  }
+
+  const std::string log_path = ::testing::TempDir() + "telemetry_on.jsonl";
+  const std::string snap_path = ::testing::TempDir() + "telemetry_snap.jsonl";
+  {
+    auto options = loopback_options();
+    if (obs::logging_compiled()) {
+      options.log = std::make_shared<obs::Log>(log_path, obs::LogLevel::Debug);
+    }
+    options.metrics_listen = true;
+    options.metrics_port = 0;
+    options.sample_interval_ms = 10;
+    options.snapshot_export_path = snap_path;
+    service::YieldServer server(options);
+    server.start();
+    EXPECT_EQ(server.submit(frame).get(), plain);
+    // A live scrape mid-request must not perturb either.
+    (void)http_exchange(server.metrics_port(),
+                        "GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_EQ(server.submit(frame).get(), plain);
+    server.stop();
+  }
+  if (obs::logging_compiled()) {
+    // The log must actually have logged — otherwise this passes vacuously
+    // with the instrumentation fallen off.
+    std::ifstream log(log_path);
+    std::stringstream buffer;
+    buffer << log.rdbuf();
+    EXPECT_NE(buffer.str().find("\"event\":\"server.start\""),
+              std::string::npos);
+    EXPECT_NE(buffer.str().find("\"event\":\"session.built\""),
+              std::string::npos);
+  }
+  std::ifstream snap(snap_path);
+  std::string first_line;
+  EXPECT_TRUE(std::getline(snap, first_line).good());
+  EXPECT_NE(first_line.find("\"mono_us\""), std::string::npos);
+  std::remove(log_path.c_str());
+  std::remove(snap_path.c_str());
 }
 
 }  // namespace

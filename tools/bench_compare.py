@@ -30,7 +30,7 @@ import sys
 
 
 def load_benchmarks(path, agg="median"):
-    """(name -> real_time in ns, host block or None) from one run JSON.
+    """(name -> real_time ns, name -> memory counters, host block or None).
 
     A run recorded with --benchmark_repetitions emits one iteration entry
     per repetition under the same name; they are aggregated per `agg` —
@@ -39,16 +39,28 @@ def load_benchmarks(path, agg="median"):
     tight gates (--fail-above on a few percent) need so they measure the
     code, not one unlucky scheduling of it. Single-run files behave as
     before under either setting.
+
+    User counters whose name ends in `_kb` (vm_hwm_kb, rss_kb — memory
+    figures recorded via state.counters) are collected separately,
+    aggregated to the max across repetitions: a high-water mark only
+    grows, so max is the honest figure. They are compared
+    informationally, never gated — allocation timing is too
+    scheduling-dependent for a hard threshold.
     """
     with open(path) as f:
         data = json.load(f)
     samples = {}
+    memory = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
         samples.setdefault(b["name"], []).append(b["real_time"] * scale)
+        for key, value in b.items():
+            if key.endswith("_kb") and isinstance(value, (int, float)):
+                counters = memory.setdefault(b["name"], {})
+                counters[key] = max(counters.get(key, 0.0), float(value))
     out = {}
     for name, values in samples.items():
         values.sort()
@@ -60,7 +72,7 @@ def load_benchmarks(path, agg="median"):
                 out[name] = values[mid]
             else:
                 out[name] = (values[mid - 1] + values[mid]) / 2.0
-    return out, data.get("host")
+    return out, memory, data.get("host")
 
 
 def host_metadata():
@@ -160,6 +172,25 @@ def print_table(rows):
         print("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
 
 
+def print_memory(before_mem, after_mem):
+    """Informational memory-counter diff (keys ending _kb); no gating."""
+    names = sorted(set(before_mem) | set(after_mem))
+    rows = []
+    for name in names:
+        keys = sorted(set(before_mem.get(name, {})) | set(after_mem.get(name, {})))
+        for key in keys:
+            b = before_mem.get(name, {}).get(key)
+            a = after_mem.get(name, {}).get(key)
+            ratio = f"{a / b:.2f}x" if b and a else "-"
+            rows.append((f"{name} {key}",
+                         f"{b:.0f}" if b is not None else "-",
+                         f"{a:.0f}" if a is not None else "-",
+                         ratio, ""))
+    if rows:
+        print("memory (kB, max across repetitions; informational):")
+        print_table(rows)
+
+
 def matching_files(before_dir, after_dir):
     before = {f for f in os.listdir(before_dir) if f.endswith(".json")}
     after = {f for f in os.listdir(after_dir) if f.endswith(".json")}
@@ -204,24 +235,27 @@ def main():
     if os.path.isdir(before_path) and os.path.isdir(after_path):
         for name in matching_files(before_path, after_path):
             print(f"== {name}")
-            before, before_host = load_benchmarks(
+            before, before_mem, before_host = load_benchmarks(
                 os.path.join(before_path, name), args.agg)
-            after, after_host = load_benchmarks(
+            after, after_mem, after_host = load_benchmarks(
                 os.path.join(after_path, name), args.agg)
             print_hosts(before_host, after_host)
             rows, regs, ratios = compare(before, after, args.threshold)
             print_table(rows)
+            print_memory(before_mem, after_mem)
             print()
             total_regressions += regs
             for bench, ratio in ratios.items():
                 all_ratios[f"{name}:{bench}"] = ratio
     else:
-        before, before_host = load_benchmarks(before_path, args.agg)
-        after, after_host = load_benchmarks(after_path, args.agg)
+        before, before_mem, before_host = load_benchmarks(
+            before_path, args.agg)
+        after, after_mem, after_host = load_benchmarks(after_path, args.agg)
         print_hosts(before_host, after_host)
         rows, total_regressions, all_ratios = compare(
             before, after, args.threshold)
         print_table(rows)
+        print_memory(before_mem, after_mem)
 
     if total_regressions:
         print(f"\n{total_regressions} regression(s) beyond "

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition (what `GET /metrics` serves).
+
+The server renders its registry with src/obs/openmetrics.cpp; this tool is
+the other half of the contract — an independent parser that fails CI when
+the rendering drifts from the spec subset we promise:
+
+  * every sample is preceded by a `# TYPE <family> <counter|gauge|histogram>`
+    line for its family, and families are not re-declared,
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*,
+  * counter samples use the `_total` suffix and are non-negative integers,
+  * histogram families expose cumulative `_bucket{le="..."}` samples with
+    non-decreasing counts and strictly increasing le bounds, a final
+    `le="+Inf"` bucket equal to `_count`, plus `_sum` and `_count`,
+  * the exposition ends with exactly one `# EOF` line and nothing after it.
+
+With --require NAME[,NAME...] it additionally exits 1 unless every named
+family is present — the "the endpoint did not silently go empty" gate.
+
+Usage:
+  curl -s http://127.0.0.1:9464/metrics | tools/check_openmetrics.py -
+  tools/check_openmetrics.py scrape.txt --require cny_responses,cny_frames_in
+"""
+
+import argparse
+import re
+import sys
+
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+
+def fail(lineno, message):
+    sys.exit(f"line {lineno}: {message}")
+
+
+def parse_value(lineno, text):
+    if text == "+Inf":
+        return float("inf")
+    try:
+        return float(text)
+    except ValueError:
+        fail(lineno, f"unparseable sample value {text!r}")
+
+
+def family_of(name, types):
+    """The declared family a sample name belongs to, or None.
+
+    Histogram samples append _bucket/_sum/_count and counters append
+    _total to the family name, so strip known suffixes longest-first.
+    """
+    for suffix in ("_bucket", "_total", "_count", "_sum"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    if name in types:
+        return name
+    return None
+
+
+def check(lines):
+    types = {}  # family -> counter|gauge|histogram
+    samples = {}  # family -> list of (lineno, suffix, labels, value)
+    saw_eof = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if saw_eof:
+            fail(lineno, "content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                fail(lineno, f"malformed TYPE line: {line!r}")
+            _, _, family, kind = parts
+            if not NAME_RE.match(family):
+                fail(lineno, f"invalid metric name {family!r}")
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(lineno, f"unsupported metric type {kind!r}")
+            if family in types:
+                fail(lineno, f"family {family!r} declared twice")
+            types[family] = kind
+            samples[family] = []
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments: allowed, not required
+        if not line:
+            fail(lineno, "blank line inside exposition")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, f"unparseable sample line: {line!r}")
+        name = m.group("name")
+        family = family_of(name, types)
+        if family is None:
+            fail(lineno, f"sample {name!r} has no preceding TYPE line")
+        suffix = name[len(family):]
+        samples[family].append(
+            (lineno, suffix, m.group("labels"), parse_value(lineno, m.group("value")))
+        )
+    if not saw_eof:
+        sys.exit("exposition does not end with # EOF")
+
+    for family, kind in types.items():
+        rows = samples[family]
+        if not rows:
+            fail(0, f"family {family!r} declared but has no samples")
+        if kind == "counter":
+            check_counter(family, rows)
+        elif kind == "gauge":
+            check_gauge(family, rows)
+        else:
+            check_histogram(family, rows)
+    return types
+
+
+def check_counter(family, rows):
+    for lineno, suffix, _labels, value in rows:
+        if suffix != "_total":
+            fail(lineno, f"counter {family!r} sample must end in _total")
+        if value < 0 or value != int(value):
+            fail(lineno, f"counter {family!r} value {value} not a "
+                         "non-negative integer")
+
+
+def check_gauge(family, rows):
+    for lineno, suffix, _labels, _value in rows:
+        if suffix != "":
+            fail(lineno, f"gauge {family!r} sample has unexpected "
+                         f"suffix {suffix!r}")
+
+
+def check_histogram(family, rows):
+    buckets = []  # (lineno, le, value)
+    sum_value = count_value = None
+    for lineno, suffix, labels, value in rows:
+        if suffix == "_bucket":
+            m = re.match(r'^le="([^"]*)"$', labels or "")
+            if not m:
+                fail(lineno, f"histogram {family!r} bucket needs exactly "
+                             'an le="..." label')
+            buckets.append((lineno, parse_value(lineno, m.group(1)), value))
+        elif suffix == "_sum":
+            sum_value = value
+        elif suffix == "_count":
+            count_value = value
+        else:
+            fail(lineno, f"histogram {family!r} sample has unexpected "
+                         f"suffix {suffix!r}")
+    if not buckets:
+        fail(0, f"histogram {family!r} has no buckets")
+    if sum_value is None or count_value is None:
+        fail(0, f"histogram {family!r} missing _sum or _count")
+    last_le = last_value = None
+    for lineno, le, value in buckets:
+        if last_le is not None and le <= last_le:
+            fail(lineno, f"histogram {family!r} le bounds not strictly "
+                         "increasing")
+        if last_value is not None and value < last_value:
+            fail(lineno, f"histogram {family!r} bucket counts not "
+                         "cumulative")
+        last_le, last_value = le, value
+    if last_le != float("inf"):
+        fail(buckets[-1][0], f"histogram {family!r} missing le=\"+Inf\" "
+                             "bucket")
+    if last_value != count_value:
+        fail(buckets[-1][0], f"histogram {family!r} +Inf bucket "
+                             f"({last_value}) != _count ({count_value})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("exposition",
+                        help="scrape file, or - to read stdin")
+    parser.add_argument("--require", default="",
+                        help="comma-separated family names that must be "
+                             "present (exit 1 otherwise)")
+    args = parser.parse_args()
+
+    if args.exposition == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.exposition, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    types = check(lines)
+
+    required = [n for n in args.require.split(",") if n]
+    missing = [n for n in required if n not in types]
+    if missing:
+        sys.exit("missing required metric(s): " + ", ".join(missing)
+                 + f" (exposition has {len(types)} families)")
+    counts = {}
+    for kind in types.values():
+        counts[kind] = counts.get(kind, 0) + 1
+    print(f"OK: {len(types)} families ("
+          + ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+          + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

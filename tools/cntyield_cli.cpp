@@ -27,9 +27,14 @@
 //   cntyield_cli gen-design --lib=FILE --out=FILE [--instances=50000]
 //   cntyield_cli serve   [--port=7421] [--threads=N] [--coalesce-us=2000]
 //                        [--cache-size=4] [--knots=65] [--max-queue=1024]
+//                        [--metrics-port=N] [--sample-ms=N]
+//                        [--snapshot-file=FILE]
 //                        (SIGTERM/SIGINT or a Shutdown frame drain
 //                        gracefully: queued work finishes, new requests
-//                        get `shutting_down`)
+//                        get `shutting_down`; --metrics-port serves
+//                        OpenMetrics `GET /metrics`, --sample-ms samples
+//                        RSS/CPU into process.* gauges, --snapshot-file
+//                        exports one metrics snapshot per tick as JSONL)
 //   cntyield_cli request [--host=127.0.0.1] [--port=7421] [--ping]
 //                        [--shutdown] [--library=nangate45|commercial65]
 //                        [--instances=0] [--yield=0.90] [--seed=1]
@@ -40,6 +45,12 @@
 //                        queue gauges, per-stage latency histograms, and
 //                        the process-wide thread-pool/kernel metrics —
 //                        canonical JSON, or tables with --table)
+//   cntyield_cli top     [--host=127.0.0.1] [--port=7421]
+//                        [--interval-ms=1000] [--count=0]
+//                        (live dashboard: polls Stats frames and renders
+//                        counter rates, latency quantiles, session-cache
+//                        occupancy and RSS between refreshes; --count=N
+//                        bounds the run for scripts/CI)
 //   cntyield_cli --version
 //
 // Failure semantics (docs/architecture.md): a service failure exits 4
@@ -69,6 +80,12 @@
 // and store byte is identical with or without it (docs/architecture.md,
 // "Observability"). Exits 2 when the build compiled tracing out
 // (-DCNY_OBS=OFF).
+// --log-file=FILE [--log-level=debug|info|warn|error] (any subcommand)
+// writes a structured JSONL event log — server lifecycle, session
+// builds/evictions, overload rejects, deadline sheds, campaign
+// checkpoints — one self-contained JSON object per line. Same
+// zero-perturbation contract and -DCNY_OBS=OFF exit-2 behaviour as
+// --trace.
 // campaign --progress renders a live progress line on stderr;
 // --progress-file=PATH additionally appends one JSON line per checkpoint
 // (done/pending, retry rounds, sessions built, ETA) for dashboards.
@@ -83,6 +100,8 @@
 //   --prm=P --noise-fails=P            ShortFailure parameters
 //   --length-mean-um=200 --length-cv=0 --length-devices=16   FiniteLength
 //   --selectivity=4.24 --prm-target=0.9999                   RemovalFrontier
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -92,6 +111,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -108,6 +128,7 @@
 #include "layout/aligned_active.h"
 #include "netlist/design_generator.h"
 #include "netlist/design_io.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 #include "scenario/engine.h"
 #include "service/client.h"
@@ -127,6 +148,11 @@ using namespace cny;
 /// hand it to their server/client/runner — observational only, so every
 /// command's output is invariant under it.
 std::shared_ptr<obs::TraceSink> g_trace_sink;
+
+/// Global structured log (--log-file=PATH [--log-level=info]), same
+/// lifecycle and contract as the trace sink: observational only, null when
+/// logging is off.
+std::shared_ptr<obs::Log> g_log;
 
 celllib::Library resolve_library(const util::Cli& cli) {
   if (cli.has("lib")) {
@@ -402,6 +428,7 @@ int cmd_scenarios(const util::Cli& cli) {
   options.via_service = cli.has("via-service");
   options.cache_capacity = compiled.size();
   options.trace_sink = g_trace_sink;
+  options.log = g_log;
   const auto t0 = std::chrono::steady_clock::now();
   const auto stats = campaign::run_campaign(compiled, store, options);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -600,6 +627,7 @@ int cmd_campaign(const util::Cli& cli) {
         std::make_shared<service::FaultPlan>(fault_options);
   }
   options.trace_sink = g_trace_sink;
+  options.log = g_log;
   options.progress_path = cli.get("progress-file", "");
   g_campaign_interrupted = 0;
   std::signal(SIGTERM, [](int) { g_campaign_interrupted = 1; });
@@ -735,6 +763,24 @@ int cmd_serve(const util::Cli& cli) {
   options.listen = true;
   options.port = static_cast<std::uint16_t>(
       require_long_in(cli, "port", 7421, 1, 65535));
+  // Continuous telemetry (all off by default; docs/architecture.md,
+  // "Continuous telemetry"): --metrics-port=N serves `GET /metrics`
+  // (OpenMetrics text) on 127.0.0.1:N, --sample-ms=N samples
+  // /proc/self/{status,stat} into process.* gauges every N ms,
+  // --snapshot-file=PATH appends one metrics-snapshot JSONL line per tick.
+  if (cli.has("metrics-port")) {
+    options.metrics_listen = true;
+    options.metrics_port = static_cast<std::uint16_t>(
+        require_long_in(cli, "metrics-port", 0, 0, 65535));
+  }
+  options.sample_interval_ms = static_cast<unsigned>(
+      require_long_in(cli, "sample-ms", 0, 0, 3'600'000));
+  options.snapshot_export_path = cli.get("snapshot-file", "");
+  if (!options.snapshot_export_path.empty() &&
+      options.sample_interval_ms == 0) {
+    options.sample_interval_ms = 1000;  // a snapshot file implies sampling
+  }
+  options.log = g_log;
   options.n_threads = resolve_threads(cli);
   options.coalesce_window_us = static_cast<unsigned>(require_long_in(
       cli, "coalesce-us", static_cast<long>(options.coalesce_window_us), 0,
@@ -753,6 +799,10 @@ int cmd_serve(const util::Cli& cli) {
       "sessions cached, %u us coalescing window, %zu-deep admission queue)\n",
       service::kVersionString, server.port(), service::kProtocolVersion,
       options.cache_capacity, options.coalesce_window_us, options.max_queue);
+  if (options.metrics_listen) {
+    std::printf("metrics: GET http://127.0.0.1:%u/metrics (OpenMetrics)\n",
+                server.metrics_port());
+  }
   std::fflush(stdout);
   // SIGTERM/SIGINT and a Shutdown frame share the same exit: a graceful
   // drain. The handler only sets a flag; the bounded wait below polls it,
@@ -842,6 +892,95 @@ int cmd_stats(const util::Cli& cli) {
   return 0;
 }
 
+/// `top` — a live terminal dashboard over a running server: polls Stats
+/// frames every --interval-ms and renders counters with per-second rates
+/// (computed client-side between refreshes), queue/session gauges,
+/// per-stage latency quantiles, and the process resource gauges (RSS,
+/// high-water, CPU, threads). On a TTY each frame redraws in place
+/// (ANSI home+clear); piped output emits sequential frames, so a bounded
+/// run (--count=N) is scriptable in CI.
+int cmd_top(const util::Cli& cli) {
+  service::YieldClient client(
+      cli.get("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(require_long_in(cli, "port", 7421, 1, 65535)));
+  client.set_retry_policy(resolve_retry_policy(cli));
+  client.set_trace_sink(g_trace_sink.get());
+  const unsigned interval_ms = static_cast<unsigned>(
+      require_long_in(cli, "interval-ms", 1000, 50, 600'000));
+  const long count = require_long_in(cli, "count", 0, 0, 1'000'000);
+  const bool redraw = ::isatty(STDOUT_FILENO) != 0;
+  std::map<std::string, double> prev_counters;
+  auto prev_time = std::chrono::steady_clock::now();
+  bool have_prev = false;
+  for (long frame = 0; count == 0 || frame < count; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const std::string payload = client.stats();
+    const auto now = std::chrono::steady_clock::now();
+    const double dt_s =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+            now - prev_time)
+                                .count()) /
+        1e6;
+    const service::Json v = service::Json::parse(payload);
+    if (redraw) std::printf("\033[H\033[2J");
+    std::printf("cntyield top — %s:%ld  (refresh %u ms, frame %ld%s)\n",
+                cli.get("host", "127.0.0.1").c_str(),
+                cli.get_long("port", 7421), interval_ms, frame + 1,
+                have_prev ? "" : ", rates warm up next frame");
+    std::map<std::string, double> counters;
+    {
+      util::Table t("Counters");
+      t.header({"counter", "value", "rate/s"});
+      for (const auto& [name, value] : v.at("stats").members()) {
+        const double val = value.as_double();
+        counters[name] = val;
+        double rate = 0.0;
+        if (have_prev && dt_s > 0) {
+          const auto it = prev_counters.find(name);
+          // Same guards as obs::counter_rates: a counter that appeared or
+          // went backwards (server restart) rates as 0, never negative.
+          if (it != prev_counters.end() && val >= it->second) {
+            rate = (val - it->second) / dt_s;
+          }
+        }
+        t.begin_row().cell(name).cell(value.dump()).num(rate, 2);
+      }
+      for (const auto& [name, value] : v.at("gauges").members()) {
+        t.begin_row().cell(name + " (gauge)").cell(value.dump()).cell("-");
+      }
+      std::cout << t.to_text();
+    }
+    if (!v.at("histograms").members().empty()) {
+      util::Table t("Latency");
+      t.header({"stage", "count", "p50 (us)", "p95 (us)", "max (us)"});
+      for (const auto& [name, h] : v.at("histograms").members()) {
+        t.begin_row()
+            .cell(name)
+            .cell(h.at("count").dump())
+            .num(h.at("p50_us").as_double(), 4)
+            .num(h.at("p95_us").as_double(), 4)
+            .cell(h.at("max_us").dump());
+      }
+      std::cout << t.to_text();
+    }
+    {
+      util::Table t("Process");
+      t.header({"metric", "value"});
+      for (const auto& [name, value] : v.at("process").at("gauges").members()) {
+        t.begin_row().cell(name).cell(value.dump());
+      }
+      std::cout << t.to_text();
+    }
+    std::fflush(stdout);
+    prev_counters = std::move(counters);
+    prev_time = now;
+    have_prev = true;
+  }
+  return 0;
+}
+
 int cmd_request(const util::Cli& cli) {
   service::YieldClient client(
       cli.get("host", "127.0.0.1"),
@@ -905,10 +1044,18 @@ int print_version() {
 int usage() {
   std::puts(
       "usage: cntyield_cli <pf|wmin|flow|batch|scenarios|campaign|scaling|"
-      "table1|table2|align|gen-lib|gen-design|serve|request|stats> [flags]\n"
+      "table1|table2|align|gen-lib|gen-design|serve|request|stats|top> "
+      "[flags]\n"
       "       cntyield_cli --version\n"
       "  any command: --trace=FILE writes a Perfetto-loadable span JSONL\n"
+      "  any command: --log-file=FILE [--log-level=debug|info|warn|error] "
+      "writes a structured JSONL event log\n"
       "  stats: metrics snapshot of a running server (--table for tables)\n"
+      "  top: live dashboard over a running server (--interval-ms=1000, "
+      "--count=N for a bounded run)\n"
+      "  serve: --metrics-port=N serves GET /metrics (OpenMetrics), "
+      "--sample-ms=N samples RSS/CPU, --snapshot-file=FILE exports the "
+      "time series\n"
       "  flow/batch/serve: --threads=N (0 = hardware concurrency)\n"
       "  flow/batch/request: --scenario=shorts,length,removal (+ mechanism "
       "flags)\n"
@@ -961,7 +1108,11 @@ const std::map<std::string, std::vector<std::string>> kCommandFlags = {
     {"gen-lib", {"which", "out"}},
     {"gen-design", {"lib", "out", "instances"}},
     {"serve",
-     {"port", "threads", "coalesce-us", "cache-size", "knots", "max-queue"}},
+     {"port", "threads", "coalesce-us", "cache-size", "knots", "max-queue",
+      "metrics-port", "sample-ms", "snapshot-file"}},
+    {"top",
+     {"host", "port", "interval-ms", "count", "retries", "retry-base-ms",
+      "seed"}},
     {"request",
      {"host", "port", "ping", "shutdown", "library", "instances", "yield",
       "chip-m", "mc-samples", "seed", "streams", "pm", "prs", "cv",
@@ -980,7 +1131,10 @@ int reject_unknown_flags(const util::Cli& cli, const std::string& cmd) {
   }
   for (const auto& name : cli.flag_names()) {
     // Global flags, valid for every command.
-    if (name == "simd" || name == "trace") continue;
+    if (name == "simd" || name == "trace" || name == "log-file" ||
+        name == "log-level") {
+      continue;
+    }
     if (std::find(it->second.begin(), it->second.end(), name) ==
         it->second.end()) {
       std::fprintf(stderr, "error: unknown flag --%s for '%s'\n",
@@ -1029,6 +1183,35 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Global structured-log switch, mirroring --trace: --log-file=FILE opens
+  // the JSONL event log every command hands to its server/runner/cache;
+  // --log-level filters below the given severity. Observational only.
+  if (cli.has("log-file")) {
+    if (!cny::obs::logging_compiled()) {
+      std::fprintf(stderr,
+                   "error: --log-file requires a build with observability "
+                   "compiled in (this one was configured with "
+                   "-DCNY_OBS=OFF)\n");
+      return 2;
+    }
+    cny::obs::LogLevel level = cny::obs::LogLevel::Info;
+    if (!cny::obs::log_level_from_name(cli.get("log-level", "info"), level)) {
+      std::fprintf(stderr,
+                   "error: --log-level must be debug, info, warn or error "
+                   "(got '%s')\n",
+                   cli.get("log-level", "info").c_str());
+      return 2;
+    }
+    try {
+      g_log = std::make_shared<cny::obs::Log>(cli.get("log-file", ""), level);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  } else if (cli.has("log-level")) {
+    std::fprintf(stderr, "error: --log-level requires --log-file\n");
+    return 2;
+  }
   const experiments::PaperParams params;
   try {
     if (cmd == "pf") return cmd_pf(cli);
@@ -1043,6 +1226,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(cli);
     if (cmd == "request") return cmd_request(cli);
     if (cmd == "stats") return cmd_stats(cli);
+    if (cmd == "top") return cmd_top(cli);
     if (cmd == "scaling") {
       std::cout << experiments::report_fig3_3(
                        params, cli.get_double("relaxation", 350.0))

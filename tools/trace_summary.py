@@ -11,15 +11,22 @@ by line here. This tool:
   * validates the schema of every complete event (name/cat/ph/ts/pid/tid,
     plus dur for ph == "X"),
   * prints one row per span name: count, total, p50/p95/max duration,
+  * with --csv emits the same table as CSV for spreadsheets / pandas,
+  * with --since/--until only spans *starting* inside the [since, until]
+    window (trace-clock microseconds, i.e. the `ts` field) are counted —
+    cut the warm-up off a long capture before summarising,
   * with --require a,b,c exits 1 unless every named span occurs at least
     once — CI's "the instrumentation did not silently fall off" gate.
 
 Usage:
   tools/trace_summary.py trace.jsonl
+  tools/trace_summary.py trace.jsonl --csv > spans.csv
+  tools/trace_summary.py trace.jsonl --since 2500000 --until 9000000
   tools/trace_summary.py trace.jsonl --require queue_wait,evaluate,serialize
 """
 
 import argparse
+import csv
 import json
 import sys
 
@@ -79,31 +86,81 @@ def main():
         help="comma-separated span names that must each occur at least once "
         "(exit 1 otherwise)",
     )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the summary table as CSV instead of aligned text",
+    )
+    parser.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="TS_US",
+        help="only count spans whose start ts (trace microseconds) is "
+        ">= TS_US",
+    )
+    parser.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="TS_US",
+        help="only count spans whose start ts (trace microseconds) is "
+        "<= TS_US",
+    )
     args = parser.parse_args()
 
     events = load_events(args.trace)
     spans = {}  # name -> list of durations (us)
+    windowed_out = 0
     for event in events:
         if event["ph"] != "X":
             continue
+        ts = float(event["ts"])
+        if (args.since is not None and ts < args.since) or (
+            args.until is not None and ts > args.until
+        ):
+            windowed_out += 1
+            continue
         spans.setdefault(event["name"], []).append(float(event["dur"]))
+    if windowed_out:
+        print(
+            f"note: {windowed_out} span(s) outside the "
+            "--since/--until window were skipped",
+            file=sys.stderr,
+        )
 
-    name_width = max([len(n) for n in spans] + [len("span")])
-    header = (
-        f"{'span':<{name_width}}  {'count':>7}  {'total_us':>12}  "
-        f"{'p50_us':>10}  {'p95_us':>10}  {'max_us':>10}"
-    )
-    print(header)
-    print("-" * len(header))
+    columns = ("span", "count", "total_us", "p50_us", "p95_us", "max_us")
+    rows = []
     for name in sorted(spans):
         durations = sorted(spans[name])
-        print(
-            f"{name:<{name_width}}  {len(durations):>7}  "
-            f"{sum(durations):>12.1f}  "
-            f"{quantile(durations, 0.5):>10.1f}  "
-            f"{quantile(durations, 0.95):>10.1f}  "
-            f"{durations[-1]:>10.1f}"
+        rows.append(
+            (
+                name,
+                len(durations),
+                round(sum(durations), 1),
+                round(quantile(durations, 0.5), 1),
+                round(quantile(durations, 0.95), 1),
+                round(durations[-1], 1),
+            )
         )
+
+    if args.csv:
+        writer = csv.writer(sys.stdout)
+        writer.writerow(columns)
+        writer.writerows(rows)
+    else:
+        name_width = max([len(n) for n in spans] + [len("span")])
+        header = (
+            f"{'span':<{name_width}}  {'count':>7}  {'total_us':>12}  "
+            f"{'p50_us':>10}  {'p95_us':>10}  {'max_us':>10}"
+        )
+        print(header)
+        print("-" * len(header))
+        for name, count, total, p50, p95, mx in rows:
+            print(
+                f"{name:<{name_width}}  {count:>7}  {total:>12.1f}  "
+                f"{p50:>10.1f}  {p95:>10.1f}  {mx:>10.1f}"
+            )
 
     required = [n for n in args.require.split(",") if n]
     missing = [n for n in required if n not in spans]
